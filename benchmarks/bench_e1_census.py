@@ -1,0 +1,26 @@
+"""Benchmark E1 — configuration censuses of Figures 4-9.
+
+Regenerates the per-figure configuration counts and times the necklace
+enumeration; the counts are asserted against the paper.
+"""
+
+import pytest
+
+from repro.analysis.enumeration import PAPER_FIGURE_COUNTS, census
+
+
+@pytest.mark.parametrize("k,n", sorted(PAPER_FIGURE_COUNTS))
+def test_census_matches_paper_figure(benchmark, k, n):
+    result = benchmark(census, n, k)
+    figure, expected = PAPER_FIGURE_COUNTS[(k, n)]
+    assert result.total == expected, f"{figure}: expected {expected}, got {result.total}"
+
+
+def test_census_larger_grid(benchmark):
+    """Throughput of the enumeration on a larger ring (not part of the figures)."""
+
+    def grid():
+        return [census(14, k).total for k in range(1, 15)]
+
+    totals = benchmark(grid)
+    assert sum(totals) > 0

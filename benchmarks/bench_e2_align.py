@@ -1,0 +1,42 @@
+"""Benchmark E2 — Algorithm Align convergence to C* (Theorem 1)."""
+
+import random
+
+import pytest
+
+from repro.algorithms.align import AlignAlgorithm
+from repro.simulator.engine import Simulator
+from repro.workloads.generators import random_rigid_configuration, rigid_configurations
+
+
+def _converge(configuration):
+    engine = Simulator(AlignAlgorithm(), configuration)
+    trace = engine.run_until(
+        lambda sim: sim.configuration.is_c_star(), 40 * configuration.n * configuration.k + 200
+    )
+    return trace
+
+
+@pytest.mark.parametrize("n,k", [(10, 4), (12, 6), (16, 8)])
+def test_align_convergence_exhaustive_starts(benchmark, n, k):
+    starts = rigid_configurations(n, k)[:20]
+
+    def run_all():
+        moves = 0
+        for configuration in starts:
+            trace = _converge(configuration)
+            assert trace.final_configuration.is_c_star()
+            moves += trace.total_moves
+        return moves
+
+    total_moves = benchmark(run_all)
+    assert total_moves <= 2 * n * k * len(starts)
+
+
+@pytest.mark.parametrize("n,k", [(24, 8), (32, 12), (40, 16)])
+def test_align_convergence_scaling(benchmark, n, k):
+    rng = random.Random(42)
+    configuration = random_rigid_configuration(n, k, rng)
+    trace = benchmark(_converge, configuration)
+    assert trace.final_configuration.is_c_star()
+    assert trace.total_moves <= 2 * n * k

@@ -1,0 +1,34 @@
+"""Benchmark E3 — Ring Clearing perpetual searching + exploration (Theorem 6)."""
+
+import pytest
+
+from repro.algorithms.ring_clearing import RingClearingAlgorithm, ring_clearing_supported
+from repro.simulator.engine import Simulator
+from repro.tasks import ExplorationMonitor, SearchingMonitor
+from repro.workloads.generators import rigid_configurations
+
+
+def _perpetual_run(n, k, steps_factor=25):
+    configuration = rigid_configurations(n, k)[0]
+    searching = SearchingMonitor()
+    exploration = ExplorationMonitor()
+    engine = Simulator(RingClearingAlgorithm(), configuration, monitors=[searching, exploration])
+    engine.run(steps_factor * n * k)
+    return searching, exploration, engine.trace
+
+
+@pytest.mark.parametrize("n,k", [(11, 6), (12, 7), (14, 8)])
+def test_ring_clearing_perpetual(benchmark, n, k):
+    assert ring_clearing_supported(n, k)
+    searching, exploration, trace = benchmark(_perpetual_run, n, k)
+    assert not trace.had_collision
+    assert searching.every_edge_cleared(2)
+    assert exploration.all_robots_covered_ring(2)
+    assert len(searching.all_clear_steps) >= 2
+
+
+def test_ring_clearing_larger_ring(benchmark):
+    n, k = 18, 9
+    searching, exploration, trace = benchmark(_perpetual_run, n, k)
+    assert searching.every_edge_cleared(1)
+    assert exploration.all_robots_covered_ring(1)

@@ -1,0 +1,54 @@
+"""Benchmark E4 — Algorithm NminusThree for k = n - 3 (Theorem 7, Lemma 9)."""
+
+import pytest
+
+from repro.algorithms.classification import three_empty_structure
+from repro.algorithms.nminusthree import (
+    NminusThreeAlgorithm,
+    final_configurations,
+    nminusthree_supported,
+)
+from repro.simulator.engine import Simulator
+from repro.tasks import ExplorationMonitor, SearchingMonitor
+from repro.workloads.generators import rigid_configurations
+
+
+def _perpetual_run(n, steps_factor=30):
+    k = n - 3
+    configuration = rigid_configurations(n, k)[0]
+    searching = SearchingMonitor()
+    exploration = ExplorationMonitor()
+    engine = Simulator(NminusThreeAlgorithm(), configuration, monitors=[searching, exploration])
+    engine.run(steps_factor * n * k)
+    return searching, exploration, engine.trace
+
+
+@pytest.mark.parametrize("n", [10, 12, 14])
+def test_nminusthree_perpetual(benchmark, n):
+    assert nminusthree_supported(n, n - 3)
+    searching, exploration, trace = benchmark(_perpetual_run, n)
+    assert not trace.had_collision
+    assert searching.every_edge_cleared(2)
+    assert exploration.all_robots_covered_ring(2)
+
+
+def test_nminusthree_phase1_convergence(benchmark):
+    """Lemma 9: phase 1 reaches a final configuration from every rigid start."""
+    n = 13
+    k = n - 3
+    starts = rigid_configurations(n, k)
+    finals = set(final_configurations(k))
+
+    def phase_one():
+        reached = 0
+        for configuration in starts:
+            engine = Simulator(NminusThreeAlgorithm(), configuration)
+            engine.run_until(
+                lambda sim: three_empty_structure(sim.configuration).sorted_sizes in finals,
+                10 * n * k,
+            )
+            reached += 1
+        return reached
+
+    reached = benchmark(phase_one)
+    assert reached == len(starts)

@@ -1,0 +1,39 @@
+"""Benchmark E5 — Gathering with local multiplicity detection (Theorem 8)."""
+
+import random
+
+import pytest
+
+from repro.algorithms.gathering import GatheringAlgorithm
+from repro.simulator.runner import run_gathering
+from repro.workloads.generators import random_rigid_configuration, rigid_configurations
+
+
+@pytest.mark.parametrize("n,k", [(10, 5), (12, 6), (12, 9)])
+def test_gathering_exhaustive_starts(benchmark, n, k):
+    starts = rigid_configurations(n, k)[:15]
+
+    def gather_all():
+        gathered = 0
+        for configuration in starts:
+            trace, _ = run_gathering(GatheringAlgorithm(), configuration)
+            if trace.final_configuration.num_occupied == 1:
+                gathered += 1
+        return gathered
+
+    gathered = benchmark(gather_all)
+    assert gathered == len(starts)
+
+
+@pytest.mark.parametrize("n,k", [(24, 8), (32, 10), (40, 12)])
+def test_gathering_scaling(benchmark, n, k):
+    rng = random.Random(7)
+    configuration = random_rigid_configuration(n, k, rng)
+
+    def gather():
+        trace, _ = run_gathering(GatheringAlgorithm(), configuration, max_steps=80 * n * k)
+        return trace
+
+    trace = benchmark(gather)
+    assert trace.final_configuration.num_occupied == 1
+    assert trace.total_moves <= 3 * n * k

@@ -1,0 +1,47 @@
+"""Benchmark E7 — scaling of Align moves, gathering moves and clearing period."""
+
+import random
+
+import pytest
+
+from repro.algorithms.align import AlignAlgorithm
+from repro.algorithms.ring_clearing import RingClearingAlgorithm
+from repro.analysis.metrics import clearing_metrics, convergence_metrics
+from repro.simulator.engine import Simulator
+from repro.tasks import SearchingMonitor
+from repro.workloads.generators import random_rigid_configuration
+
+
+@pytest.mark.parametrize("n", [16, 24, 32])
+def test_align_moves_scale_linearly_in_n(benchmark, n):
+    k = 6
+    rng = random.Random(n)
+    configuration = random_rigid_configuration(n, k, rng)
+
+    def converge():
+        engine = Simulator(AlignAlgorithm(), configuration)
+        trace = engine.run_until(lambda sim: sim.configuration.is_c_star(), 40 * n * k)
+        return convergence_metrics(trace)
+
+    metrics = benchmark(converge)
+    assert metrics.reached
+    assert metrics.moves <= 2 * n * k
+
+
+@pytest.mark.parametrize("n", [12, 16, 20])
+def test_full_clearing_cost_scales_with_n(benchmark, n):
+    k = 6
+    rng = random.Random(n + 1)
+    configuration = random_rigid_configuration(n, k, rng)
+
+    def measure():
+        searching = SearchingMonitor()
+        engine = Simulator(RingClearingAlgorithm(), configuration, monitors=[searching])
+        engine.run(30 * n * k)
+        return clearing_metrics(searching, trace=engine.trace)
+
+    metrics = benchmark(measure)
+    assert metrics.all_clear_count >= 2
+    assert metrics.moves_to_full_clear is not None
+    # Align phase (O(n*k) moves) plus at most a couple of tours of the ring.
+    assert metrics.moves_to_full_clear <= 2 * n * k + 4 * n

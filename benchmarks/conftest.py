@@ -1,0 +1,15 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates (a piece of) one paper artifact; the
+`--benchmark-only` run therefore doubles as a smoke-level reproduction of
+the experiment tables, while `repro.experiments` (or the ``ringsim`` CLI)
+produces the full tables recorded in EXPERIMENTS.md.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def quick_rounds():
+    """Number of benchmark rounds used for the heavier simulations."""
+    return 3

@@ -1,0 +1,50 @@
+"""Impossibility landscape: configuration censuses, feasibility table, adversary games.
+
+This example reproduces the analytical side of the paper:
+
+* the configuration censuses behind the case-analysis Figures 4-9,
+* the (k, n) feasibility characterization of exclusive perpetual graph
+  searching (Theorems 2-7),
+* computational re-derivations of the smallest impossibility results via
+  the exhaustive adversary game solver.
+
+Usage::
+
+    python examples/impossibility_census.py [max_n]
+"""
+
+import sys
+
+from repro.analysis.enumeration import PAPER_FIGURE_COUNTS, census
+from repro.analysis.feasibility import feasibility_table
+from repro.analysis.game import searching_game_verdict
+from repro.experiments.report import render_table
+
+
+def main(max_n: int = 14) -> None:
+    print("1. Configuration censuses (Figures 4-9)")
+    rows = []
+    for (k, n), (figure, expected) in sorted(PAPER_FIGURE_COUNTS.items(), key=lambda x: x[0][::-1]):
+        c = census(n, k)
+        rows.append((figure, k, n, expected, c.total, c.rigid, c.symmetric_aperiodic, c.periodic))
+    print(render_table(
+        ("figure", "k", "n", "paper", "measured", "rigid", "symmetric", "periodic"), rows
+    ))
+    print()
+
+    print(f"2. Exclusive perpetual graph searching feasibility (n <= {max_n})")
+    cells = feasibility_table("searching", max_n, min_n=10)
+    rows = [cell.as_row() for cell in cells if cell.k >= 3]
+    print(render_table(("k", "n", "verdict", "reference"), rows))
+    print()
+
+    print("3. Adversary game solver on the smallest cases (Theorems 2, 3, 5)")
+    rows = []
+    for n, k in [(4, 1), (5, 2), (6, 2), (5, 3), (6, 3)]:
+        result = searching_game_verdict(n, k)
+        rows.append((k, n, result.verdict.value, result.algorithms_checked))
+    print(render_table(("k", "n", "game verdict", "candidate algorithms examined"), rows))
+
+
+if __name__ == "__main__":
+    main(*[int(a) for a in sys.argv[1:2]])

@@ -1,0 +1,89 @@
+"""ringsim — a unified Look-Compute-Move robot framework on anonymous rings.
+
+This package reproduces "A Unified Approach for Different Tasks on Rings
+in Robot-Based Computing Systems" (D'Angelo, Di Stefano, Navarra, Nisse,
+Suchan): the min-CORDA model on anonymous unoriented rings, the Align /
+Ring Clearing / NminusThree / Gathering algorithms, the task monitors for
+exclusive perpetual exploration, exclusive perpetual graph searching and
+gathering, and the feasibility characterization and impossibility
+analyses of the paper.
+
+Quickstart::
+
+    from repro import Configuration, AlignAlgorithm, Simulator
+
+    start = Configuration.from_occupied(12, [0, 2, 5, 6, 9])
+    engine = Simulator(AlignAlgorithm(), start)
+    trace = engine.run_until(lambda sim: sim.configuration.is_c_star(), 500)
+    print(trace.final_configuration.ascii_art())
+"""
+
+from .algorithms import (
+    AlignAlgorithm,
+    GatheringAlgorithm,
+    GreedyGatherBaseline,
+    IdleAlgorithm,
+    NminusThreeAlgorithm,
+    RingClearingAlgorithm,
+    SweepAlgorithm,
+)
+from .core import (
+    CCW,
+    CW,
+    Configuration,
+    Pattern,
+    Ring,
+    RingSimError,
+)
+from .model import Algorithm, Decision, GlobalRuleAlgorithm, Snapshot
+from .scheduler import (
+    AsynchronousScheduler,
+    ScriptedScheduler,
+    SemiSynchronousScheduler,
+    SequentialScheduler,
+    SynchronousScheduler,
+)
+from .simulator import Simulator, Trace, run_gathering, run_to_configuration, simulate
+from .tasks import ExplorationMonitor, GatheringMonitor, SearchingMonitor
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "Ring",
+    "Configuration",
+    "Pattern",
+    "RingSimError",
+    "CW",
+    "CCW",
+    # model
+    "Algorithm",
+    "GlobalRuleAlgorithm",
+    "Decision",
+    "Snapshot",
+    # algorithms
+    "AlignAlgorithm",
+    "RingClearingAlgorithm",
+    "NminusThreeAlgorithm",
+    "GatheringAlgorithm",
+    "IdleAlgorithm",
+    "SweepAlgorithm",
+    "GreedyGatherBaseline",
+    # schedulers
+    "SequentialScheduler",
+    "SynchronousScheduler",
+    "SemiSynchronousScheduler",
+    "AsynchronousScheduler",
+    "ScriptedScheduler",
+    # simulator
+    "Simulator",
+    "Trace",
+    "simulate",
+    "run_to_configuration",
+    "run_gathering",
+    # tasks
+    "SearchingMonitor",
+    "ExplorationMonitor",
+    "GatheringMonitor",
+]

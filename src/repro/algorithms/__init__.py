@@ -1,0 +1,68 @@
+"""The paper's algorithms (Align, Ring Clearing, NminusThree, Gathering) and baselines."""
+
+from .align import AlignAlgorithm, AlignDecision, align_rule, plan_align
+from .baselines import GreedyGatherBaseline, IdleAlgorithm, SweepAlgorithm
+from .classification import (
+    AClass,
+    AClassification,
+    BlockStructure,
+    classify_a,
+    three_empty_structure,
+)
+from .gathering import GatheringAlgorithm, gathering_supported, plan_gathering_support
+from .nminusthree import (
+    NminusThreeAlgorithm,
+    final_configurations,
+    nminusthree_supported,
+    plan_nminusthree,
+)
+from .reductions import (
+    REDUCTION_0,
+    REDUCTION_1,
+    REDUCTION_2,
+    REDUCTION_MINUS_1,
+    apply_reduction,
+    reduction0,
+    reduction1,
+    reduction2,
+    reduction_minus1,
+)
+from .ring_clearing import (
+    RingClearingAlgorithm,
+    plan_ring_clearing,
+    ring_clearing_supported,
+)
+
+__all__ = [
+    "AlignAlgorithm",
+    "AlignDecision",
+    "align_rule",
+    "plan_align",
+    "RingClearingAlgorithm",
+    "plan_ring_clearing",
+    "ring_clearing_supported",
+    "NminusThreeAlgorithm",
+    "plan_nminusthree",
+    "nminusthree_supported",
+    "final_configurations",
+    "GatheringAlgorithm",
+    "plan_gathering_support",
+    "gathering_supported",
+    "AClass",
+    "AClassification",
+    "classify_a",
+    "BlockStructure",
+    "three_empty_structure",
+    "IdleAlgorithm",
+    "SweepAlgorithm",
+    "GreedyGatherBaseline",
+    "REDUCTION_0",
+    "REDUCTION_1",
+    "REDUCTION_2",
+    "REDUCTION_MINUS_1",
+    "apply_reduction",
+    "reduction0",
+    "reduction1",
+    "reduction2",
+    "reduction_minus1",
+]

@@ -1,0 +1,175 @@
+"""Algorithm **Align** (paper, Section 3, Figures 1-2, Theorem 1).
+
+Starting from any rigid exclusive configuration of ``k >= 3`` robots on a
+ring of ``n > k + 2`` nodes, Align repeatedly moves a single robot so as
+to lexicographically decrease the supermin configuration view, until the
+target configuration :math:`C^*` (a block of ``k - 1`` robots, one empty
+node, one isolated robot, and a large empty interval) is reached.  All
+intermediate configurations are rigid — except when passing through the
+single problematic configuration ``Cs`` (supermin view ``(0, 1, 1, 2)``),
+from which the algorithm deliberately walks through the symmetric
+configuration with supermin view ``(0, 0, 2, 2)``.
+
+The module exposes
+
+* :func:`align_rule` — the global rule: which reduction applies in a
+  configuration, which robot moves and where,
+* :func:`plan_align` — the same information as a ``{mover: target}``
+  plan (empty at :math:`C^*`),
+* :class:`AlignAlgorithm` — the per-robot min-CORDA algorithm obtained
+  by wrapping the planner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..core.configuration import Configuration
+from ..core.cyclic import is_reflectively_symmetric, is_rotationally_symmetric
+from ..core.errors import AlgorithmPreconditionError
+from ..model.algorithm import GlobalRuleAlgorithm
+from . import reductions
+from .reductions import (
+    REDUCTION_0,
+    REDUCTION_1,
+    REDUCTION_2,
+    REDUCTION_MINUS_1,
+    apply_reduction,
+    mover_index,
+)
+
+__all__ = ["AlignDecision", "align_rule", "plan_align", "AlignAlgorithm", "SPECIAL_SYMMETRIC_VIEW"]
+
+#: Supermin view of the symmetric configuration traversed when leaving ``Cs``.
+SPECIAL_SYMMETRIC_VIEW: Tuple[int, ...] = (0, 0, 2, 2)
+
+#: Supermin view of the problematic configuration ``Cs`` (k = 4, n = 8).
+CS_VIEW: Tuple[int, ...] = (0, 1, 1, 2)
+
+
+@dataclass(frozen=True)
+class AlignDecision:
+    """The global decision taken by Align in one configuration.
+
+    Attributes:
+        rule: the reduction applied (``None`` when the configuration is
+            already :math:`C^*` and nothing moves).
+        mover: node of the robot that moves (``None`` when idle).
+        target: node the robot moves to (``None`` when idle).
+        resulting_view: interval sequence of the configuration after the
+            move, as predicted by the reduction rule (``None`` when idle).
+    """
+
+    rule: Optional[str]
+    mover: Optional[int]
+    target: Optional[int]
+    resulting_view: Optional[Tuple[int, ...]] = None
+
+    @property
+    def is_idle(self) -> bool:
+        """Whether Align prescribes no move (configuration is :math:`C^*`)."""
+        return self.rule is None
+
+
+def _is_rigid_view(view: Tuple[int, ...]) -> bool:
+    """Rigidity of the configuration described by an interval sequence."""
+    return not is_reflectively_symmetric(view) and not is_rotationally_symmetric(view)
+
+
+def _special_symmetric_mover(configuration: Configuration) -> AlignDecision:
+    """Handle the symmetric configuration with supermin view ``(0, 0, 2, 2)``.
+
+    The single robot lying on the axis of symmetry (the unique robot both
+    of whose adjacent intervals are non-empty) moves one step in an
+    arbitrary direction; both choices lead to :math:`C^*`.
+    """
+    for node in configuration.support:
+        cw, ccw = configuration.views_of(node)
+        if cw[0] > 0 and ccw[0] > 0:
+            target = (node + 1) % configuration.n
+            return AlignDecision(
+                rule=REDUCTION_1,
+                mover=node,
+                target=target,
+                resulting_view=apply_reduction(configuration.supermin_view(), REDUCTION_1),
+            )
+    raise AlgorithmPreconditionError(  # pragma: no cover - unreachable for (0,0,2,2)
+        "no isolated robot found in the special symmetric configuration"
+    )
+
+
+def align_rule(configuration: Configuration) -> AlignDecision:
+    """The global Align rule for one configuration.
+
+    Args:
+        configuration: the current configuration; its *support* must be
+            either rigid or the special symmetric configuration with
+            supermin view ``(0, 0, 2, 2)``.
+
+    Raises:
+        AlgorithmPreconditionError: for configurations outside Align's
+            domain (fewer than 3 occupied nodes, symmetric or periodic
+            configurations other than the special one).
+    """
+    if configuration.num_occupied < 3:
+        raise AlgorithmPreconditionError(
+            f"Align needs at least 3 occupied nodes, got {configuration.num_occupied}"
+        )
+    if configuration.is_c_star_type() and configuration.is_c_star():
+        return AlignDecision(rule=None, mover=None, target=None)
+
+    supermin = configuration.supermin_view()
+    if not configuration.is_rigid:
+        if supermin == SPECIAL_SYMMETRIC_VIEW:
+            return _special_symmetric_mover(configuration)
+        raise AlgorithmPreconditionError(
+            "Align requires a rigid configuration "
+            f"(got supermin view {supermin}, symmetric={configuration.is_symmetric}, "
+            f"periodic={configuration.is_periodic})"
+        )
+
+    anchor_node, direction = configuration.supermin_anchors()[0]
+    order = configuration.occupied_order(anchor_node, direction)
+
+    if supermin[0] > 0:
+        chosen = REDUCTION_0
+    else:
+        chosen = None
+        for rule in (REDUCTION_1, REDUCTION_2, REDUCTION_MINUS_1):
+            candidate = apply_reduction(supermin, rule)
+            if _is_rigid_view(candidate):
+                chosen = rule
+                break
+        if chosen is None:
+            # Only the configuration Cs reaches this point (Lemma 5 and the
+            # discussion of Fig. 1, line 17): perform reduction1 anyway.
+            chosen = REDUCTION_1
+
+    robot_index, move_direction = mover_index(supermin, chosen)
+    mover = order[robot_index]
+    target = (mover + move_direction * direction) % configuration.n
+    return AlignDecision(
+        rule=chosen,
+        mover=mover,
+        target=target,
+        resulting_view=apply_reduction(supermin, chosen),
+    )
+
+
+def plan_align(configuration: Configuration) -> Dict[int, int]:
+    """Align as a ``{mover: target}`` plan (empty when the configuration is :math:`C^*`)."""
+    decision = align_rule(configuration)
+    if decision.is_idle:
+        return {}
+    assert decision.mover is not None and decision.target is not None
+    return {decision.mover: decision.target}
+
+
+class AlignAlgorithm(GlobalRuleAlgorithm):
+    """Per-robot min-CORDA implementation of Algorithm Align."""
+
+    name = "align"
+
+    def plan(self, configuration: Configuration) -> Dict[int, int]:
+        return plan_align(configuration)

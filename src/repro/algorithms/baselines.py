@@ -1,0 +1,77 @@
+"""Baseline and strawman algorithms.
+
+These are not contributions of the paper; they exist to exercise the
+simulator and the task monitors, to illustrate the difference between
+perpetual exploration and perpetual graph searching (paper, Section 4.1),
+and to serve as comparison points in the experiments.
+
+* :class:`IdleAlgorithm` never moves (useful for tests and as a control).
+* :class:`SweepAlgorithm` always tries to advance in the direction of the
+  first presented view when the adjacent node there is empty.  Run with
+  the engine's ``chirality=True`` option (which fixes the presentation
+  order to clockwise-first, i.e. grants the robots a common sense of
+  direction the min-CORDA model does not normally provide), it realises
+  the "one robot always moving clockwise" example from the paper: it
+  perpetually explores a ring but never clears it.  Without chirality the
+  presentation order is adversarial, and the algorithm degrades into an
+  adversary-driven walk.
+* :class:`GreedyGatherBaseline` is a strawman gathering rule (walk toward
+  the nearer occupied node) that fails from many configurations — a foil
+  for the paper's Gathering algorithm in the experiments.
+"""
+
+from __future__ import annotations
+
+from ..model.algorithm import Algorithm
+from ..model.decisions import Decision
+from ..model.snapshot import Snapshot
+
+__all__ = ["IdleAlgorithm", "SweepAlgorithm", "GreedyGatherBaseline"]
+
+
+class IdleAlgorithm(Algorithm):
+    """Never move."""
+
+    name = "idle"
+
+    def compute(self, snapshot: Snapshot) -> Decision:
+        return Decision.idle()
+
+
+class SweepAlgorithm(Algorithm):
+    """Move towards the first presented view whenever that neighbour is empty.
+
+    With ``chirality=True`` on the engine this is a unidirectional sweep;
+    it keeps the exclusivity property because a robot only advances into
+    an empty node.
+    """
+
+    name = "sweep"
+
+    def compute(self, snapshot: Snapshot) -> Decision:
+        if snapshot.num_occupied == snapshot.n:
+            return Decision.idle()
+        if snapshot.views[0][0] > 0:
+            return Decision.move_toward(0)
+        return Decision.idle()
+
+
+class GreedyGatherBaseline(Algorithm):
+    """Walk towards the closer occupied node (strawman gathering rule).
+
+    The rule ignores multiplicities and symmetry and therefore fails to
+    gather from many configurations (robots chase each other or form
+    several clusters); it exists as a baseline against which the paper's
+    algorithm is compared in experiment E5.
+    """
+
+    name = "greedy-gather"
+
+    def compute(self, snapshot: Snapshot) -> Decision:
+        if snapshot.num_occupied <= 1:
+            return Decision.idle()
+        first_gap = snapshot.views[0][0]
+        second_gap = snapshot.views[1][0]
+        if first_gap <= second_gap:
+            return Decision.move_toward(0)
+        return Decision.move_toward(1)

@@ -1,0 +1,101 @@
+"""Algorithm **Gathering** (paper, Section 5, Fig. 14, Theorem 8).
+
+Gathering with the *local* (weak) multiplicity detection capability:
+starting from any rigid exclusive configuration of ``2 < k < n - 2``
+robots, all robots eventually occupy one node and stay there.
+
+The algorithm composes three ingredients:
+
+1. While the (support) configuration is not of :math:`C^*`-type,
+   Algorithm Align is executed, driving the system to :math:`C^*`.
+2. On a :math:`C^*`-type configuration with more than two occupied
+   nodes, rule **Contraction** moves every robot occupying the *first*
+   node of the ordered :math:`C^*`-type sequence onto the second node,
+   shrinking the block and growing a multiplicity.
+3. When only two nodes remain occupied, the robots that detect a
+   multiplicity on their own node stay put, while the unique single
+   robot walks (along the short side) onto the multiplicity.
+
+Exclusivity is deliberately *not* enforced for this task.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..core.configuration import Configuration
+from ..core.errors import AlgorithmPreconditionError, UnsupportedParametersError
+from ..model.algorithm import GlobalRuleAlgorithm, PlannedMoves
+from ..model.snapshot import Snapshot
+from .align import plan_align
+
+__all__ = ["gathering_supported", "plan_gathering_support", "GatheringAlgorithm"]
+
+
+def gathering_supported(n: int, k: int) -> bool:
+    """Whether ``(k, n)`` lies in the range covered by Theorem 8 (``2 < k < n - 2``)."""
+    return k > 2 and n > k + 2
+
+
+def plan_gathering_support(configuration: Configuration) -> Dict[int, int]:
+    """Support-level gathering plan (no multiplicity information).
+
+    Handles every branch of Fig. 14 that does not need the local
+    multiplicity detection capability: Align outside :math:`C^*`-type
+    configurations and Contraction on :math:`C^*`-type configurations
+    with more than two occupied nodes.  The two-occupied-nodes endgame
+    depends on each robot's own multiplicity flag and is resolved in
+    :meth:`GatheringAlgorithm.plan_for_snapshot`.
+    """
+    occupied = configuration.num_occupied
+    if occupied <= 2:
+        raise AlgorithmPreconditionError(
+            "the two-node endgame of Gathering needs local multiplicity detection; "
+            "use GatheringAlgorithm.plan_for_snapshot"
+        )
+    if configuration.is_c_star_type():
+        anchor, direction = configuration.c_star_type_anchor()
+        # In a C*-type configuration the first interval has length 0, so
+        # the "second node" is the neighbour of the anchor along the view.
+        target = (anchor + direction) % configuration.n
+        return {anchor: target}
+    return plan_align(configuration)
+
+
+class GatheringAlgorithm(GlobalRuleAlgorithm):
+    """Per-robot min-CORDA implementation of Algorithm Gathering.
+
+    The simulation must grant local multiplicity detection
+    (``multiplicity_detection=True``) and must *not* enforce exclusivity.
+    """
+
+    name = "gathering"
+
+    def plan(self, configuration: Configuration) -> Dict[int, int]:
+        return plan_gathering_support(configuration)
+
+    def plan_for_snapshot(self, configuration: Configuration, snapshot: Snapshot) -> PlannedMoves:
+        occupied = configuration.num_occupied
+        n = configuration.n
+        if occupied == 1:
+            return {}
+        if occupied == 2:
+            if snapshot.on_multiplicity:
+                # Robots forming the multiplicity never move.
+                return {}
+            # The observing robot sits at local node 0; it walks towards the
+            # other occupied node along the shorter arc.
+            other = next(node for node in configuration.support if node != 0)
+            forward = other % n
+            backward = (n - other) % n
+            if forward <= backward:
+                return {0: 1 % n}
+            return {0: (n - 1) % n}
+        if not gathering_supported(n, snapshot.num_occupied) and not configuration.is_c_star_type():
+            # Outside C*-type configurations the support size equals k (the
+            # configuration is still exclusive), so the theorem's bounds can
+            # be checked meaningfully.
+            raise UnsupportedParametersError(
+                f"Gathering is proven for 2 < k < n - 2; got n={n}, k={snapshot.num_occupied}"
+            )
+        return plan_gathering_support(configuration)

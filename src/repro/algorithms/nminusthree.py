@@ -1,0 +1,100 @@
+"""Algorithm **NminusThree** (paper, Section 4.4, Fig. 13, Theorem 7).
+
+When ``k = n - 3``, exactly three nodes of the ring are empty and every
+configuration is described by the sizes ``(A, B, C)`` of the (possibly
+empty) runs of occupied nodes between consecutive empty nodes, sorted so
+that ``A <= B <= C``.  Rigid configurations have ``A < B < C``.  The
+algorithm works in two phases:
+
+* **Phase 1** drives any rigid configuration into one of the three
+  *final* configurations ``(0, 2, k-2)``, ``(0, 3, k-3)``, ``(1, 2, k-3)``
+  using rules R1.1-R1.3;
+* **Phase 2** cycles through the three final configurations forever
+  (rules R2.1-R2.3), which perpetually clears the ring and makes every
+  robot visit every node.
+
+It solves exclusive perpetual graph searching and exploration for
+``k = n - 3`` robots on any ``n >= 10`` node ring.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..core.configuration import Configuration
+from ..core.errors import AlgorithmPreconditionError, UnsupportedParametersError
+from ..model.algorithm import GlobalRuleAlgorithm
+from .classification import BlockStructure, three_empty_structure
+
+__all__ = [
+    "nminusthree_supported",
+    "final_configurations",
+    "plan_nminusthree",
+    "NminusThreeAlgorithm",
+]
+
+
+def nminusthree_supported(n: int, k: int) -> bool:
+    """Whether ``(k, n)`` lies in the range covered by Theorem 7 (``k = n - 3``, ``n >= 10``)."""
+    return n >= 10 and k == n - 3
+
+
+def final_configurations(k: int) -> Tuple[Tuple[int, int, int], ...]:
+    """The three final ``(A, B, C)`` descriptions of phase 2."""
+    return ((0, 2, k - 2), (0, 3, k - 3), (1, 2, k - 3))
+
+
+def _rule_move(structure: BlockStructure, from_size: int, towards_size: int) -> Dict[int, int]:
+    """Move the border robot of the block of ``from_size`` towards the block of ``towards_size``."""
+    source_slot = structure.slot_with_size(from_size)
+    target_slot = structure.slot_with_size(towards_size)
+    mover = structure.border_robot(source_slot, target_slot)
+    target = structure.shared_empty(source_slot, target_slot)
+    return {mover: target}
+
+
+def plan_nminusthree(configuration: Configuration) -> Dict[int, int]:
+    """The global NminusThree rule as a ``{mover: target}`` plan.
+
+    Raises:
+        UnsupportedParametersError: if ``k != n - 3`` or ``n < 10``.
+        AlgorithmPreconditionError: if the configuration is not rigid and
+            not one of the final configurations (such configurations are
+            outside the theorem's hypotheses).
+    """
+    n, k = configuration.n, configuration.k
+    if not nminusthree_supported(n, k):
+        raise UnsupportedParametersError(
+            f"NminusThree requires k = n - 3 and n >= 10; got n={n}, k={k}"
+        )
+    structure = three_empty_structure(configuration)
+    a, b, c = structure.sorted_sizes
+
+    # Phase 2: the three final configurations cycle forever.
+    if (a, b, c) == (0, 2, k - 2):
+        return _rule_move(structure, from_size=c, towards_size=b)  # R2.1
+    if (a, b, c) == (0, 3, k - 3):
+        return _rule_move(structure, from_size=b, towards_size=a)  # R2.2
+    if (a, b, c) == (1, 2, k - 3):
+        return _rule_move(structure, from_size=a, towards_size=c)  # R2.3
+
+    # Phase 1 requires a rigid configuration (all block sizes distinct).
+    if len({a, b, c}) != 3:
+        raise AlgorithmPreconditionError(
+            f"NminusThree phase 1 requires a rigid configuration, got block sizes {(a, b, c)}"
+        )
+    if a > 0:
+        return _rule_move(structure, from_size=a, towards_size=c)  # R1.1
+    if b == 1:
+        return _rule_move(structure, from_size=c, towards_size=b)  # R1.2
+    # Here a == 0 and b > 3 (b == 2 or 3 are final configurations handled above).
+    return _rule_move(structure, from_size=b, towards_size=c)  # R1.3
+
+
+class NminusThreeAlgorithm(GlobalRuleAlgorithm):
+    """Per-robot min-CORDA implementation of Algorithm NminusThree."""
+
+    name = "n-minus-three"
+
+    def plan(self, configuration: Configuration) -> Dict[int, int]:
+        return plan_nminusthree(configuration)

@@ -1,0 +1,151 @@
+"""The four reduction rules of Algorithm Align (paper, Section 3.1).
+
+Each rule is a pure function on a *supermin configuration view*
+``W = (q_0, ..., q_{k-1})``: it returns the interval sequence describing
+the configuration obtained after the corresponding robot slides by one
+edge.  The mapping from rules to concrete robots is:
+
+* ``reduction0``  — the robot *a* between intervals ``q_{k-1}`` and
+  ``q_0`` moves into ``q_0`` (requires ``q_0 > 0``);
+* ``reduction1``  — the robot *b* between ``q_{l1}`` and ``q_{l1+1}``
+  moves into ``q_{l1}``, where ``l1`` is the first positive interval;
+* ``reduction2``  — the robot *c* between ``q_{l2}`` and ``q_{l2+1}``
+  moves into ``q_{l2}``, where ``l2`` is the second positive interval;
+* ``reduction-1`` — the robot *d* between ``q_{k-2}`` and ``q_{k-1}``
+  moves into ``q_{k-1}``.
+
+The index arithmetic is cyclic (modulo ``k``), which keeps the functions
+total even on views where ``l2 = k - 1``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+__all__ = [
+    "REDUCTION_0",
+    "REDUCTION_1",
+    "REDUCTION_2",
+    "REDUCTION_MINUS_1",
+    "first_positive_index",
+    "second_positive_index",
+    "reduction0",
+    "reduction1",
+    "reduction2",
+    "reduction_minus1",
+    "apply_reduction",
+    "mover_index",
+]
+
+#: Rule identifiers (used in plans, traces and metrics).
+REDUCTION_0 = "reduction0"
+REDUCTION_1 = "reduction1"
+REDUCTION_2 = "reduction2"
+REDUCTION_MINUS_1 = "reduction-1"
+
+
+def _validated(view: Sequence[int]) -> Tuple[int, ...]:
+    out = tuple(int(q) for q in view)
+    if len(out) < 2:
+        raise ValueError("a reduction needs a view with at least two intervals")
+    if any(q < 0 for q in out):
+        raise ValueError("interval lengths cannot be negative")
+    return out
+
+
+def first_positive_index(view: Sequence[int]) -> int:
+    """The index ``l1`` of the first strictly positive interval."""
+    for index, value in enumerate(view):
+        if value > 0:
+            return index
+    raise ValueError("the view contains no positive interval")
+
+
+def second_positive_index(view: Sequence[int]) -> int:
+    """The index ``l2`` of the second strictly positive interval."""
+    seen_first = False
+    for index, value in enumerate(view):
+        if value > 0:
+            if seen_first:
+                return index
+            seen_first = True
+    raise ValueError("the view contains fewer than two positive intervals")
+
+
+def _shift(view: Tuple[int, ...], reduce_at: int) -> Tuple[int, ...]:
+    """Decrement interval ``reduce_at`` and increment the next one (cyclically)."""
+    k = len(view)
+    if view[reduce_at] <= 0:
+        raise ValueError(f"interval {reduce_at} is empty and cannot be reduced")
+    new = list(view)
+    new[reduce_at] -= 1
+    new[(reduce_at + 1) % k] += 1
+    return tuple(new)
+
+
+def reduction0(view: Sequence[int]) -> Tuple[int, ...]:
+    """``(q_0 - 1, q_1, ..., q_{k-2}, q_{k-1} + 1)`` (requires ``q_0 > 0``)."""
+    v = _validated(view)
+    if v[0] <= 0:
+        raise ValueError("reduction0 requires q0 > 0")
+    new = list(v)
+    new[0] -= 1
+    new[-1] += 1
+    return tuple(new)
+
+
+def reduction1(view: Sequence[int]) -> Tuple[int, ...]:
+    """Reduce the first positive interval in favour of its successor."""
+    v = _validated(view)
+    return _shift(v, first_positive_index(v))
+
+
+def reduction2(view: Sequence[int]) -> Tuple[int, ...]:
+    """Reduce the second positive interval in favour of its successor."""
+    v = _validated(view)
+    return _shift(v, second_positive_index(v))
+
+
+def reduction_minus1(view: Sequence[int]) -> Tuple[int, ...]:
+    """``(q_0, ..., q_{k-2} + 1, q_{k-1} - 1)`` (requires ``q_{k-1} > 0``)."""
+    v = _validated(view)
+    if v[-1] <= 0:
+        raise ValueError("reduction-1 requires q_{k-1} > 0")
+    new = list(v)
+    new[-1] -= 1
+    new[-2] += 1
+    return tuple(new)
+
+
+def apply_reduction(view: Sequence[int], rule: str) -> Tuple[int, ...]:
+    """Apply the named reduction rule to a supermin view."""
+    if rule == REDUCTION_0:
+        return reduction0(view)
+    if rule == REDUCTION_1:
+        return reduction1(view)
+    if rule == REDUCTION_2:
+        return reduction2(view)
+    if rule == REDUCTION_MINUS_1:
+        return reduction_minus1(view)
+    raise ValueError(f"unknown reduction rule {rule!r}")
+
+
+def mover_index(view: Sequence[int], rule: str) -> Tuple[int, int]:
+    """Which robot moves, and in which direction, for the given rule.
+
+    Returns ``(robot_index, direction)`` where ``robot_index`` refers to
+    the occupied nodes ``r_0, ..., r_{k-1}`` enumerated along the view
+    (``r_0`` being the node the view is read from) and ``direction`` is
+    ``+1`` for a move along the view direction and ``-1`` against it.
+    """
+    v = _validated(view)
+    k = len(v)
+    if rule == REDUCTION_0:
+        return 0, +1
+    if rule == REDUCTION_1:
+        return (first_positive_index(v) + 1) % k, -1
+    if rule == REDUCTION_2:
+        return (second_positive_index(v) + 1) % k, -1
+    if rule == REDUCTION_MINUS_1:
+        return k - 1, +1
+    raise ValueError(f"unknown reduction rule {rule!r}")

@@ -1,0 +1,72 @@
+"""Algorithm **Ring Clearing** (paper, Section 4.3, Fig. 11-12, Theorem 6).
+
+Ring Clearing solves both the exclusive perpetual graph searching and the
+exclusive perpetual exploration problems with ``k`` robots on an
+``n``-node ring for ``n >= 10`` and ``5 <= k < n - 3``, except for the
+open case ``(k, n) = (5, 10)``, starting from any rigid exclusive
+configuration.
+
+The algorithm has two phases.  While the configuration is outside the
+class family :math:`\\mathcal{A}` (A-a … A-f), Algorithm Align is
+executed; once inside :math:`\\mathcal{A}`, the robots perpetually cycle
+through the classes A-a → A-b* → A-c → A-d → A-e → A-a, sliding the whole
+pattern around the ring and thereby clearing every edge and visiting
+every node infinitely often.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.configuration import Configuration
+from ..core.errors import UnsupportedParametersError
+from ..model.algorithm import GlobalRuleAlgorithm
+from .align import plan_align
+from .classification import AClassification, classify_a
+
+__all__ = ["ring_clearing_supported", "plan_ring_clearing", "RingClearingAlgorithm"]
+
+
+def ring_clearing_supported(n: int, k: int) -> bool:
+    """Whether ``(k, n)`` lies in the range covered by Theorem 6.
+
+    Theorem 6 requires ``n >= 10`` and ``5 <= k < n - 3``, excluding the
+    open case ``(k, n) = (5, 10)``.
+    """
+    if n < 10:
+        return False
+    if not 5 <= k < n - 3:
+        return False
+    if k == 5 and n == 10:
+        return False
+    return True
+
+
+def plan_ring_clearing(configuration: Configuration) -> Dict[int, int]:
+    """The global Ring Clearing rule as a ``{mover: target}`` plan.
+
+    Raises:
+        UnsupportedParametersError: when ``(k, n)`` is outside the range
+            of Theorem 6 (use :class:`NminusThreeAlgorithm
+            <repro.algorithms.nminusthree.NminusThreeAlgorithm>` for
+            ``k = n - 3``).
+    """
+    n, k = configuration.n, configuration.k
+    if not ring_clearing_supported(n, k):
+        raise UnsupportedParametersError(
+            f"Ring Clearing is proven for n >= 10 and 5 <= k < n - 3 (except (5, 10)); "
+            f"got n={n}, k={k}"
+        )
+    classification: Optional[AClassification] = classify_a(configuration)
+    if classification is None:
+        return plan_align(configuration)
+    return {classification.mover: classification.target}
+
+
+class RingClearingAlgorithm(GlobalRuleAlgorithm):
+    """Per-robot min-CORDA implementation of Algorithm Ring Clearing."""
+
+    name = "ring-clearing"
+
+    def plan(self, configuration: Configuration) -> Dict[int, int]:
+        return plan_ring_clearing(configuration)

@@ -1,0 +1,49 @@
+"""Analysis: configuration censuses, feasibility characterization, metrics, adversary games."""
+
+from .enumeration import (
+    PAPER_FIGURE_COUNTS,
+    ConfigurationCensus,
+    census,
+    count_configurations,
+    enumerate_configurations,
+)
+from .feasibility import (
+    CellVerdict,
+    Feasibility,
+    exploration_feasibility,
+    feasibility_table,
+    gathering_feasibility,
+    searching_feasibility,
+)
+from .game import GameResult, GameVerdict, Option, SearchGameSolver, searching_game_verdict
+from .metrics import (
+    ClearingMetrics,
+    ConvergenceMetrics,
+    clearing_metrics,
+    convergence_metrics,
+    summarize,
+)
+
+__all__ = [
+    "enumerate_configurations",
+    "count_configurations",
+    "census",
+    "ConfigurationCensus",
+    "PAPER_FIGURE_COUNTS",
+    "Feasibility",
+    "CellVerdict",
+    "searching_feasibility",
+    "exploration_feasibility",
+    "gathering_feasibility",
+    "feasibility_table",
+    "SearchGameSolver",
+    "searching_game_verdict",
+    "GameResult",
+    "GameVerdict",
+    "Option",
+    "ConvergenceMetrics",
+    "convergence_metrics",
+    "ClearingMetrics",
+    "clearing_metrics",
+    "summarize",
+]

@@ -1,0 +1,127 @@
+"""Configuration enumeration and symmetry census.
+
+The impossibility proofs of the paper (Theorem 5, Figures 4-9) start by
+enumerating *all distinct configurations* of ``k`` robots on an
+``n``-node ring — distinct up to the rotations and reflections of the
+anonymous, unoriented ring — and classifying them by symmetry.  This
+module regenerates those enumerations for arbitrary ``(k, n)``:
+
+* :func:`enumerate_configurations` lists one representative per
+  equivalence class (binary necklaces under the dihedral group);
+* :func:`census` aggregates counts (total, rigid, symmetric-aperiodic,
+  periodic), which experiment E1 compares against the figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, Iterator, List, Tuple
+
+from ..core.configuration import Configuration
+from ..core.errors import InvalidConfigurationError
+
+__all__ = [
+    "enumerate_configurations",
+    "count_configurations",
+    "ConfigurationCensus",
+    "census",
+    "PAPER_FIGURE_COUNTS",
+]
+
+#: Configuration counts stated by the paper's case-analysis figures
+#: (Figure number, (k, n), number of distinct configurations).
+PAPER_FIGURE_COUNTS: Dict[Tuple[int, int], Tuple[str, int]] = {
+    (4, 7): ("Figure 4", 4),
+    (4, 8): ("Figure 5", 8),
+    (5, 8): ("Figure 6", 5),
+    (6, 9): ("Figure 7", 7),
+    (4, 9): ("Figure 8", 10),
+    (5, 9): ("Figure 9", 10),
+}
+
+
+def enumerate_configurations(n: int, k: int, *, rigid_only: bool = False) -> List[Configuration]:
+    """One representative of every configuration class of ``k`` robots on ``n`` nodes.
+
+    Two configurations are in the same class when one is the image of the
+    other under a rotation or reflection of the ring.  Representatives
+    are returned in a deterministic order (sorted canonical gap cycles).
+
+    Args:
+        n: ring size (``n >= 3``).
+        k: number of robots (``1 <= k <= n``).
+        rigid_only: keep only rigid (aperiodic and asymmetric) classes.
+    """
+    if n < 3:
+        raise InvalidConfigurationError(f"a ring needs at least 3 nodes, got n={n}")
+    if not 1 <= k <= n:
+        raise InvalidConfigurationError(f"k must satisfy 1 <= k <= n, got k={k}, n={n}")
+    seen: Dict[Tuple[int, ...], Configuration] = {}
+    # Fix one robot at node 0: every class has a representative containing node 0.
+    for rest in combinations(range(1, n), k - 1):
+        configuration = Configuration.from_occupied(n, (0,) + rest)
+        key = configuration.canonical_gaps()
+        if key not in seen:
+            seen[key] = configuration
+    representatives = [seen[key] for key in sorted(seen)]
+    if rigid_only:
+        representatives = [c for c in representatives if c.is_rigid]
+    return representatives
+
+
+def iter_configurations(n: int, k: int) -> Iterator[Configuration]:
+    """Iterator flavour of :func:`enumerate_configurations`."""
+    yield from enumerate_configurations(n, k)
+
+
+def count_configurations(n: int, k: int) -> int:
+    """Number of distinct configuration classes of ``k`` robots on ``n`` nodes."""
+    return len(enumerate_configurations(n, k))
+
+
+@dataclass(frozen=True)
+class ConfigurationCensus:
+    """Symmetry census of the configuration classes for one ``(k, n)``.
+
+    Attributes:
+        n: ring size.
+        k: number of robots.
+        total: number of distinct classes.
+        rigid: classes that are aperiodic and asymmetric.
+        symmetric_aperiodic: classes with an axis of symmetry but no
+            non-trivial rotational symmetry.
+        periodic: classes invariant under a non-trivial rotation.
+    """
+
+    n: int
+    k: int
+    total: int
+    rigid: int
+    symmetric_aperiodic: int
+    periodic: int
+
+    def as_row(self) -> Tuple[int, int, int, int, int, int]:
+        """The census as a plain tuple (used by reports and benchmarks)."""
+        return (self.k, self.n, self.total, self.rigid, self.symmetric_aperiodic, self.periodic)
+
+
+def census(n: int, k: int) -> ConfigurationCensus:
+    """Compute the symmetry census for ``k`` robots on an ``n``-node ring."""
+    total = rigid = symmetric_aperiodic = periodic = 0
+    for configuration in enumerate_configurations(n, k):
+        total += 1
+        if configuration.is_periodic:
+            periodic += 1
+        elif configuration.is_symmetric:
+            symmetric_aperiodic += 1
+        else:
+            rigid += 1
+    return ConfigurationCensus(
+        n=n,
+        k=k,
+        total=total,
+        rigid=rigid,
+        symmetric_aperiodic=symmetric_aperiodic,
+        periodic=periodic,
+    )

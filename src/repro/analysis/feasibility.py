@@ -1,0 +1,171 @@
+"""Feasibility characterization of the three tasks as a function of ``(k, n)``.
+
+The paper's contribution section summarises an almost complete
+characterization of *exclusive perpetual graph searching* on rings:
+
+* impossible for ``2 < n <= 9`` with ``k < n``, and for
+  ``k in {1, 2, 3, n-2, n-1}`` on any ring with ``n > 4``
+  (Theorems 2-5, Lemma 6);
+* possible for ``n >= 10`` and ``5 <= k <= n - 3`` starting from any
+  rigid configuration (Theorems 6 and 7) — except ``(k, n) = (5, 10)``;
+* open for ``k = 4`` with ``n > 9`` and for ``(k, n) = (5, 10)``;
+* trivially satisfied for ``k = n`` (every edge is permanently guarded).
+
+For exclusive perpetual exploration the paper's algorithms give
+feasibility on the same constructive range (the exploration-specific
+characterization is otherwise outside the paper's scope and reported as
+open here), and gathering with local multiplicity detection is solved
+from every rigid configuration whenever ``2 < k < n - 2`` (Theorem 8).
+
+This module encodes those statements; experiment E6 cross-checks the
+FEASIBLE cells against simulation and the smallest INFEASIBLE cells
+against the adversary game solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Optional, Tuple
+
+from ..core.errors import InvalidConfigurationError
+
+__all__ = [
+    "Feasibility",
+    "CellVerdict",
+    "searching_feasibility",
+    "exploration_feasibility",
+    "gathering_feasibility",
+    "feasibility_table",
+]
+
+
+class Feasibility(Enum):
+    """Verdict for one ``(k, n)`` cell."""
+
+    FEASIBLE = "feasible"
+    INFEASIBLE = "infeasible"
+    OPEN = "open"
+    UNDEFINED = "undefined"
+
+
+@dataclass(frozen=True)
+class CellVerdict:
+    """A verdict plus the paper statement justifying it."""
+
+    k: int
+    n: int
+    verdict: Feasibility
+    reference: str
+
+    def as_row(self) -> Tuple[int, int, str, str]:
+        """Plain-tuple rendering used by reports and benchmarks."""
+        return (self.k, self.n, self.verdict.value, self.reference)
+
+
+def _validate(n: int, k: int) -> None:
+    if n < 3:
+        raise InvalidConfigurationError(f"rings need n >= 3, got n={n}")
+    if not 1 <= k <= n:
+        raise InvalidConfigurationError(f"k must satisfy 1 <= k <= n, got k={k}, n={n}")
+
+
+def searching_feasibility(n: int, k: int) -> CellVerdict:
+    """Exclusive perpetual graph searching feasibility for ``k`` robots on ``n`` nodes.
+
+    Feasible cells are meant as "there is an algorithm working from every
+    rigid exclusive configuration"; infeasible cells as "no algorithm
+    works from any initial configuration" (the paper's impossibility
+    results are configuration-independent).
+    """
+    _validate(n, k)
+    if k == n:
+        return CellVerdict(k, n, Feasibility.FEASIBLE, "all edges permanently guarded (trivial)")
+    if n <= 9:
+        return CellVerdict(k, n, Feasibility.INFEASIBLE, "Theorem 5 (n <= 9, k < n)")
+    if k == 1:
+        return CellVerdict(k, n, Feasibility.INFEASIBLE, "single robot cannot avoid recontamination")
+    if k == 2:
+        return CellVerdict(k, n, Feasibility.INFEASIBLE, "Theorem 2")
+    if k == 3:
+        return CellVerdict(k, n, Feasibility.INFEASIBLE, "Theorem 3")
+    if k == n - 1:
+        return CellVerdict(k, n, Feasibility.INFEASIBLE, "Lemma 6")
+    if k == n - 2:
+        return CellVerdict(k, n, Feasibility.INFEASIBLE, "Theorem 4")
+    if k == 4:
+        return CellVerdict(k, n, Feasibility.OPEN, "open case (k = 4, n > 9)")
+    if k == 5 and n == 10:
+        return CellVerdict(k, n, Feasibility.OPEN, "open case (k = 5, n = 10)")
+    if k == n - 3:
+        return CellVerdict(k, n, Feasibility.FEASIBLE, "Theorem 7 (Algorithm NminusThree)")
+    # Here n >= 10 and 5 <= k < n - 3.
+    return CellVerdict(k, n, Feasibility.FEASIBLE, "Theorem 6 (Algorithm Ring Clearing)")
+
+
+def exploration_feasibility(n: int, k: int) -> CellVerdict:
+    """Exclusive perpetual exploration feasibility, as far as this paper states it.
+
+    The paper's constructive algorithms (Theorems 6 and 7) also solve
+    exploration on their range; a single robot trivially explores; cells
+    the paper does not settle are reported as OPEN (other works, e.g.
+    Blin et al. 2010, cover parts of them).
+    """
+    _validate(n, k)
+    if k == n:
+        return CellVerdict(k, n, Feasibility.INFEASIBLE, "no robot can ever move (exclusivity)")
+    if k == n - 1 and n > 2:
+        return CellVerdict(
+            k, n, Feasibility.INFEASIBLE, "only the two robots at the hole can move; adversary collides them"
+        )
+    if n >= 10 and 5 <= k <= n - 3 and not (k == 5 and n == 10):
+        reference = "Theorem 7" if k == n - 3 else "Theorem 6"
+        return CellVerdict(k, n, Feasibility.FEASIBLE, f"{reference} (also explores)")
+    return CellVerdict(k, n, Feasibility.OPEN, "not settled by this paper")
+
+
+def gathering_feasibility(n: int, k: int) -> CellVerdict:
+    """Gathering (local multiplicity detection, rigid starts) feasibility (Theorem 8)."""
+    _validate(n, k)
+    if k == 1:
+        return CellVerdict(k, n, Feasibility.FEASIBLE, "a single robot is already gathered")
+    if 2 < k < n - 2:
+        return CellVerdict(k, n, Feasibility.FEASIBLE, "Theorem 8 (Algorithm Gathering)")
+    if k == 2:
+        return CellVerdict(
+            k, n, Feasibility.INFEASIBLE, "two-robot gathering is impossible on rings (Klasing et al.)"
+        )
+    # k >= n - 2: no rigid configuration exists, so the hypothesis of
+    # Theorem 8 is void.
+    return CellVerdict(
+        k, n, Feasibility.UNDEFINED, "no rigid configuration exists for k >= n - 2"
+    )
+
+
+def feasibility_table(
+    task: str, max_n: int, min_n: int = 3, ks: Optional[Tuple[int, ...]] = None
+) -> List[CellVerdict]:
+    """The full verdict table for one task over a range of ring sizes.
+
+    Args:
+        task: ``"searching"``, ``"exploration"`` or ``"gathering"``.
+        max_n: largest ring size (inclusive).
+        min_n: smallest ring size (inclusive, default 3).
+        ks: optional restriction of the robot counts; defaults to all
+            ``1 <= k <= n`` per ring size.
+    """
+    functions = {
+        "searching": searching_feasibility,
+        "exploration": exploration_feasibility,
+        "gathering": gathering_feasibility,
+    }
+    if task not in functions:
+        raise ValueError(f"unknown task {task!r}; expected one of {sorted(functions)}")
+    fn = functions[task]
+    rows: List[CellVerdict] = []
+    for n in range(min_n, max_n + 1):
+        for k in range(1, n + 1):
+            if ks is not None and k not in ks:
+                continue
+            rows.append(fn(n, k))
+    return rows

@@ -1,0 +1,396 @@
+"""Adversary game solver for exclusive perpetual graph searching (small cases).
+
+The impossibility results of the paper (Theorems 2-5) are proved by
+exhibiting adversarial schedulers against *every* candidate algorithm.
+This module re-derives such results computationally for small ``(k, n)``
+by exhaustively searching the space of deterministic view-based
+algorithms and, for each candidate, letting a semi-synchronous adversary
+try to break it.
+
+**Model.**  An algorithm is a mapping from a robot's observation — the
+unordered pair of its two directed views — to one of
+
+* ``idle``,
+* ``toward_min`` (move one edge in the direction whose view is
+  lexicographically smaller), or
+* ``toward_max`` (the other direction);
+
+when the two views are identical the robot cannot distinguish the
+directions and a move means "the adversary picks the direction".  The
+adversary activates any non-empty subset of robots per step (atomic
+Look-Compute-Move cycles, i.e. the semi-synchronous model) and chooses
+the directions of symmetric movers.
+
+**Verdicts.**  The adversary *wins* against a candidate algorithm if it
+can (a) force a collision (exclusivity violation), or (b) reach a cycle
+of system states — configuration plus clear-edge set — in which some
+fixed edge is never clear and which contains at least one
+"activate-everybody" step (so the cycle can be repeated forever without
+violating fairness).  Both conditions imply that the algorithm does not
+solve exclusive perpetual graph searching in the CORDA model (the
+asynchronous adversary subsumes the semi-synchronous one), so the verdict
+``IMPOSSIBLE`` (every candidate loses) is *sound*.  Conversely
+``CANDIDATE_FOUND`` only means that this particular adversary could not
+break some candidate; it is evidence, not a proof of feasibility.
+
+The search is exponential in the number of observation classes and is
+therefore limited to small instances (the limits are explicit
+parameters); experiment E6 uses it on ``k <= 3`` and tiny rings, exactly
+the base cases of the paper's Theorems 2, 3 and 5.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..core.configuration import Configuration
+from ..core.errors import SimulationLimitError, UnsupportedParametersError
+from ..core.ring import CCW, CW, Ring
+from ..tasks.searching import advance_clear_edges, guarded_edges
+from .enumeration import enumerate_configurations
+
+__all__ = ["Option", "GameVerdict", "GameResult", "SearchGameSolver", "searching_game_verdict"]
+
+#: A robot observation class: the (sorted) pair of its two directed views.
+ObservationClass = Tuple[Tuple[int, ...], Tuple[int, ...]]
+
+#: A system state of the game: robot positions (indexed by robot identity,
+#: used only for fairness accounting) and the set of clear edges.
+GameState = Tuple[Tuple[int, ...], FrozenSet[Tuple[int, int]]]
+
+
+class Option(Enum):
+    """Decision assigned to one observation class."""
+
+    IDLE = "idle"
+    TOWARD_MIN = "toward_min"
+    TOWARD_MAX = "toward_max"
+
+
+class GameVerdict(Enum):
+    """Outcome of the exhaustive search."""
+
+    IMPOSSIBLE = "impossible"
+    CANDIDATE_FOUND = "candidate-found"
+
+
+@dataclass(frozen=True)
+class GameResult:
+    """Result of solving one instance.
+
+    Attributes:
+        n: ring size.
+        k: number of robots.
+        verdict: whether every candidate algorithm was defeated.
+        algorithms_checked: number of candidate algorithms examined.
+        witness: a surviving assignment (observation class -> option) when
+            the verdict is ``CANDIDATE_FOUND``.
+    """
+
+    n: int
+    k: int
+    verdict: GameVerdict
+    algorithms_checked: int
+    witness: Optional[Dict[ObservationClass, Option]] = None
+
+
+class SearchGameSolver:
+    """Exhaustive semi-synchronous adversary analysis for small ``(k, n)``.
+
+    Args:
+        n: ring size.
+        k: number of robots (``1 <= k < n``).
+        max_classes: refuse instances with more observation classes than
+            this (the candidate space is ``3 ** classes``).
+        max_states: cap on the number of game states explored per
+            candidate algorithm.
+    """
+
+    def __init__(self, n: int, k: int, *, max_classes: int = 12, max_states: int = 40000) -> None:
+        if k < 1 or k >= n:
+            raise UnsupportedParametersError(f"the game solver needs 1 <= k < n, got k={k}, n={n}")
+        self.n = n
+        self.k = k
+        self.ring = Ring(n)
+        self.max_states = max_states
+        self._classes = self._collect_observation_classes()
+        if len(self._classes) > max_classes:
+            raise UnsupportedParametersError(
+                f"instance too large for exhaustive search: {len(self._classes)} observation "
+                f"classes (limit {max_classes})"
+            )
+
+    # ------------------------------------------------------------------ #
+    # observation classes
+    # ------------------------------------------------------------------ #
+    def _collect_observation_classes(self) -> List[ObservationClass]:
+        classes: Set[ObservationClass] = set()
+        for configuration in enumerate_configurations(self.n, self.k):
+            for node in configuration.support:
+                classes.add(self.observation_class(configuration, node))
+        return sorted(classes)
+
+    @property
+    def observation_classes(self) -> List[ObservationClass]:
+        """All observation classes that can occur with ``k`` robots on ``n`` nodes."""
+        return list(self._classes)
+
+    @staticmethod
+    def observation_class(configuration: Configuration, node: int) -> ObservationClass:
+        """The observation class of the robot on ``node``."""
+        cw, ccw = configuration.views_of(node)
+        first, second = sorted((cw, ccw))
+        return (first, second)
+
+    def candidate_count(self) -> int:
+        """Number of candidate algorithms the exhaustive search will examine."""
+        total = 1
+        for first, second in self._classes:
+            total *= 2 if first == second else 3
+        return total
+
+    def _candidate_assignments(self) -> Iterable[Dict[ObservationClass, Option]]:
+        per_class_options: List[Sequence[Option]] = []
+        for first, second in self._classes:
+            if first == second:
+                per_class_options.append((Option.IDLE, Option.TOWARD_MIN))
+            else:
+                per_class_options.append((Option.IDLE, Option.TOWARD_MIN, Option.TOWARD_MAX))
+        for combo in itertools.product(*per_class_options):
+            yield dict(zip(self._classes, combo))
+
+    # ------------------------------------------------------------------ #
+    # game dynamics for a fixed candidate algorithm
+    # ------------------------------------------------------------------ #
+    def _initial_state(self, configuration: Configuration) -> GameState:
+        clear = advance_clear_edges(self.ring, set(), set(), configuration)
+        return (tuple(sorted(configuration.support)), frozenset(clear))
+
+    def _decision_targets(
+        self,
+        positions: Tuple[int, ...],
+        assignment: Dict[ObservationClass, Option],
+        cache: Dict[Tuple[int, ...], Dict[int, List[Optional[int]]]],
+    ) -> Dict[int, List[Optional[int]]]:
+        """Possible landing nodes of each robot (by node) when activated.
+
+        ``None`` means staying idle; two targets appear only when the
+        robot's two views coincide and the adversary chooses the direction.
+        """
+        key = tuple(sorted(set(positions)))
+        if key in cache:
+            return cache[key]
+        configuration = Configuration.from_occupied(self.n, key)
+        targets: Dict[int, List[Optional[int]]] = {}
+        for node in key:
+            cw, ccw = configuration.views_of(node)
+            option = assignment[self.observation_class(configuration, node)]
+            if option is Option.IDLE:
+                targets[node] = [None]
+            elif cw == ccw:
+                targets[node] = [(node + 1) % self.n, (node - 1) % self.n]
+            else:
+                min_is_cw = cw < ccw
+                toward_min = (node + 1) % self.n if min_is_cw else (node - 1) % self.n
+                toward_max = (node - 1) % self.n if min_is_cw else (node + 1) % self.n
+                targets[node] = [toward_min if option is Option.TOWARD_MIN else toward_max]
+        cache[key] = targets
+        return targets
+
+    def _successors(
+        self,
+        state: GameState,
+        assignment: Dict[ObservationClass, Option],
+        cache: Dict[Tuple[int, ...], Dict[int, List[Optional[int]]]],
+    ) -> List[Tuple[GameState, bool, FrozenSet[int]]]:
+        """All adversary successors of a state.
+
+        Returns tuples ``(next_state, collision, activated_robot_ids)``.
+        """
+        positions, clear = state
+        k = len(positions)
+        targets_by_node = self._decision_targets(positions, assignment, cache)
+        successors: List[Tuple[GameState, bool, FrozenSet[int]]] = []
+        for subset_size in range(1, k + 1):
+            for subset in itertools.combinations(range(k), subset_size):
+                per_robot_choices = [targets_by_node[positions[robot]] for robot in subset]
+                activated = frozenset(subset)
+                for choice in itertools.product(*per_robot_choices):
+                    new_positions = list(positions)
+                    traversed: Set[Tuple[int, int]] = set()
+                    for robot, target in zip(subset, choice):
+                        if target is not None:
+                            traversed.add(self.ring.edge_between(positions[robot], target))
+                            new_positions[robot] = target
+                    if len(set(new_positions)) < k:
+                        successors.append((state, True, activated))
+                        continue
+                    new_configuration = Configuration.from_occupied(self.n, new_positions)
+                    new_clear = advance_clear_edges(
+                        self.ring, set(clear), traversed, new_configuration
+                    )
+                    successors.append(((tuple(new_positions), frozenset(new_clear)), False, activated))
+        return successors
+
+    def _adversary_wins(
+        self, initial: Configuration, assignment: Dict[ObservationClass, Option]
+    ) -> bool:
+        """Whether the semi-synchronous adversary defeats the candidate algorithm.
+
+        The adversary wins when it can force a collision, or when there is
+        a reachable *fair trap* for some ring edge: a strongly connected
+        set of states in which the edge is never clear and whose internal
+        transitions collectively activate every robot (so the adversary
+        can loop there forever without starving any robot).
+        """
+        cache: Dict[Tuple[int, ...], Dict[int, List[Optional[int]]]] = {}
+        start = self._initial_state(initial)
+        states: Set[GameState] = {start}
+        edges: Dict[GameState, List[Tuple[GameState, FrozenSet[int]]]] = {}
+        frontier = [start]
+        while frontier:
+            state = frontier.pop()
+            outgoing: List[Tuple[GameState, FrozenSet[int]]] = []
+            for next_state, collision, activated in self._successors(state, assignment, cache):
+                if collision:
+                    return True
+                outgoing.append((next_state, activated))
+                if next_state not in states:
+                    states.add(next_state)
+                    if len(states) > self.max_states:
+                        raise SimulationLimitError(
+                            f"game state space exceeded {self.max_states} states"
+                        )
+                    frontier.append(next_state)
+            edges[state] = outgoing
+        num_robots = len(start[0])
+        for ring_edge in self.ring.edges():
+            bad_states = {s for s in states if ring_edge not in s[1]}
+            if self._fair_trap_exists(bad_states, edges, num_robots):
+                return True
+        return False
+
+    @staticmethod
+    def _fair_trap_exists(
+        bad_states: Set[GameState],
+        edges: Dict[GameState, List[Tuple[GameState, FrozenSet[int]]]],
+        num_robots: int,
+    ) -> bool:
+        """Fair-trap test: an SCC inside ``bad_states`` whose transitions cover all robots.
+
+        Every state visited infinitely often by a fair run avoiding the
+        clearing of the chosen edge lies in one strongly connected
+        component of the restricted graph, and the transitions used
+        infinitely often activate every robot; conversely any such SCC can
+        be turned into a fair infinite run.  The test is therefore exact
+        for the semi-synchronous adversary.
+        """
+        if not bad_states:
+            return False
+        restricted: Dict[GameState, List[Tuple[GameState, FrozenSet[int]]]] = {
+            s: [(t, robots) for (t, robots) in edges.get(s, []) if t in bad_states]
+            for s in bad_states
+        }
+        # Iterative Tarjan SCC over the restricted graph.
+        index_counter = 0
+        indices: Dict[GameState, int] = {}
+        lowlinks: Dict[GameState, int] = {}
+        on_stack: Set[GameState] = set()
+        stack: List[GameState] = []
+        components: List[List[GameState]] = []
+
+        for root in restricted:
+            if root in indices:
+                continue
+            work = [(root, iter(restricted[root]))]
+            indices[root] = lowlinks[root] = index_counter
+            index_counter += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                node, successors_iter = work[-1]
+                advanced = False
+                for successor, _ in successors_iter:
+                    if successor not in indices:
+                        indices[successor] = lowlinks[successor] = index_counter
+                        index_counter += 1
+                        stack.append(successor)
+                        on_stack.add(successor)
+                        work.append((successor, iter(restricted[successor])))
+                        advanced = True
+                        break
+                    if successor in on_stack:
+                        lowlinks[node] = min(lowlinks[node], indices[successor])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlinks[parent] = min(lowlinks[parent], lowlinks[node])
+                if lowlinks[node] == indices[node]:
+                    component = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    components.append(component)
+
+        all_robots = frozenset(range(num_robots))
+        for component in components:
+            members = set(component)
+            covered: Set[int] = set()
+            has_internal_edge = False
+            for member in component:
+                for target, robots in restricted.get(member, []):
+                    if target in members:
+                        # Self-loops and longer cycles both count.
+                        has_internal_edge = True
+                        covered |= robots
+            if has_internal_edge and covered == all_robots:
+                return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def solve(self, initial: Optional[Configuration] = None) -> GameResult:
+        """Search for a candidate algorithm surviving the adversary.
+
+        Args:
+            initial: starting configuration; when omitted, a candidate must
+                survive from *some* configuration (the search tries every
+                configuration class), matching the paper's statements
+                "there is no algorithm ... for any initial configuration".
+        """
+        if initial is not None:
+            starts = [initial]
+        else:
+            starts = enumerate_configurations(self.n, self.k)
+        checked = 0
+        for assignment in self._candidate_assignments():
+            checked += 1
+            for start in starts:
+                if not self._adversary_wins(start, assignment):
+                    return GameResult(
+                        n=self.n,
+                        k=self.k,
+                        verdict=GameVerdict.CANDIDATE_FOUND,
+                        algorithms_checked=checked,
+                        witness=dict(assignment),
+                    )
+        return GameResult(
+            n=self.n, k=self.k, verdict=GameVerdict.IMPOSSIBLE, algorithms_checked=checked
+        )
+
+
+def searching_game_verdict(
+    n: int, k: int, *, max_classes: int = 12, max_states: int = 40000
+) -> GameResult:
+    """Convenience wrapper: build a solver and solve the ``(k, n)`` instance."""
+    solver = SearchGameSolver(n, k, max_classes=max_classes, max_states=max_states)
+    return solver.solve()

@@ -1,0 +1,156 @@
+"""Command-line interface.
+
+``python -m repro`` (or the installed ``ringsim`` script) runs the
+reproduction experiments and a few utility commands::
+
+    ringsim experiment e1            # run experiment E1 (quick variant)
+    ringsim experiment e3 --full     # run the full variant of E3
+    ringsim all                      # run every experiment (quick)
+    ringsim census 9 6               # configuration census for k=6, n=9
+    ringsim feasibility 14           # searching feasibility table up to n=14
+    ringsim demo align 12 5          # watch Align run on a random rigid start
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional
+
+from .algorithms.align import AlignAlgorithm
+from .algorithms.gathering import GatheringAlgorithm
+from .algorithms.nminusthree import NminusThreeAlgorithm
+from .algorithms.ring_clearing import RingClearingAlgorithm
+from .analysis.enumeration import census
+from .analysis.feasibility import feasibility_table
+from .experiments import EXPERIMENTS
+from .experiments.report import render_table
+from .simulator.engine import Simulator
+from .workloads.generators import random_rigid_configuration
+
+__all__ = ["main", "build_parser"]
+
+_DEMO_ALGORITHMS = {
+    "align": AlignAlgorithm,
+    "ring-clearing": RingClearingAlgorithm,
+    "n-minus-three": NminusThreeAlgorithm,
+    "gathering": GatheringAlgorithm,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="ringsim",
+        description="Reproduction of 'A unified approach for different tasks on rings in "
+        "robot-based computing systems' (D'Angelo et al.)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    exp = sub.add_parser("experiment", help="run one experiment (e1..e7)")
+    exp.add_argument("name", choices=sorted(EXPERIMENTS))
+    exp.add_argument("--full", action="store_true", help="run the full (slow) variant")
+
+    sub.add_parser("all", help="run every experiment (quick variants)")
+
+    cen = sub.add_parser("census", help="configuration census for one (k, n)")
+    cen.add_argument("n", type=int)
+    cen.add_argument("k", type=int)
+
+    feas = sub.add_parser("feasibility", help="searching feasibility table up to a ring size")
+    feas.add_argument("max_n", type=int)
+    feas.add_argument("--task", default="searching", choices=["searching", "exploration", "gathering"])
+
+    demo = sub.add_parser("demo", help="run one algorithm on a random rigid configuration")
+    demo.add_argument("algorithm", choices=sorted(_DEMO_ALGORITHMS))
+    demo.add_argument("n", type=int)
+    demo.add_argument("k", type=int)
+    demo.add_argument("--steps", type=int, default=200)
+    demo.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _run_experiment(name: str, full: bool, out) -> int:
+    result = EXPERIMENTS[name]("full" if full else "quick")
+    print(result.render(), file=out)
+    return 0 if result.passed else 1
+
+
+def _run_all(out) -> int:
+    status = 0
+    for name in sorted(EXPERIMENTS):
+        result = EXPERIMENTS[name]("quick")
+        print(result.render(), file=out)
+        print("", file=out)
+        if not result.passed:
+            status = 1
+    return status
+
+
+def _run_census(n: int, k: int, out) -> int:
+    c = census(n, k)
+    print(
+        render_table(
+            ("k", "n", "total", "rigid", "symmetric", "periodic"),
+            [(c.k, c.n, c.total, c.rigid, c.symmetric_aperiodic, c.periodic)],
+        ),
+        file=out,
+    )
+    return 0
+
+
+def _run_feasibility(max_n: int, task: str, out) -> int:
+    rows = [cell.as_row() for cell in feasibility_table(task, max_n)]
+    print(render_table(("k", "n", "verdict", "reference"), rows), file=out)
+    return 0
+
+
+def _run_demo(algorithm: str, n: int, k: int, steps: int, seed: int, out) -> int:
+    rng = random.Random(seed)
+    configuration = random_rigid_configuration(n, k, rng)
+    cls = _DEMO_ALGORITHMS[algorithm]
+    gathering = algorithm == "gathering"
+    engine = Simulator(
+        cls(),
+        configuration,
+        exclusive=not gathering,
+        multiplicity_detection=gathering,
+        presentation_seed=seed,
+    )
+    print(f"initial: {configuration.ascii_art()}", file=out)
+    for _ in range(steps):
+        event = engine.step()
+        if event.moves:
+            print(f"step {event.step:4d}: {event.configuration_after.ascii_art()}", file=out)
+        if gathering and engine.configuration.num_occupied == 1:
+            print("gathered!", file=out)
+            break
+        if not gathering and engine.configuration.is_c_star() and algorithm == "align":
+            print("reached C*", file=out)
+            break
+    return 0
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "experiment":
+        return _run_experiment(args.name, args.full, out)
+    if args.command == "all":
+        return _run_all(out)
+    if args.command == "census":
+        return _run_census(args.n, args.k, out)
+    if args.command == "feasibility":
+        return _run_feasibility(args.max_n, args.task, out)
+    if args.command == "demo":
+        return _run_demo(args.algorithm, args.n, args.k, args.steps, args.seed, out)
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,48 @@
+"""Core substrate: ring topology, configurations, views, symmetry, patterns."""
+
+from .configuration import Block, Configuration, Interval
+from .errors import (
+    AlgorithmPreconditionError,
+    CollisionError,
+    ExclusivityViolationError,
+    InvalidConfigurationError,
+    InvalidRingError,
+    NotOccupiedError,
+    RingSimError,
+    SchedulerError,
+    SimulationLimitError,
+    UnsupportedParametersError,
+)
+from .patterns import Pattern, group_plus, group_star, literal, plus, star, times
+from .ring import CCW, CW, Ring, edge
+from .symmetry import Axis, is_rigid_support, symmetry_axes
+
+__all__ = [
+    "Ring",
+    "edge",
+    "CW",
+    "CCW",
+    "Configuration",
+    "Interval",
+    "Block",
+    "Pattern",
+    "literal",
+    "star",
+    "plus",
+    "times",
+    "group_plus",
+    "group_star",
+    "Axis",
+    "symmetry_axes",
+    "is_rigid_support",
+    "RingSimError",
+    "InvalidRingError",
+    "InvalidConfigurationError",
+    "NotOccupiedError",
+    "CollisionError",
+    "ExclusivityViolationError",
+    "UnsupportedParametersError",
+    "AlgorithmPreconditionError",
+    "SchedulerError",
+    "SimulationLimitError",
+]

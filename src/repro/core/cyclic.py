@@ -1,0 +1,181 @@
+"""Cyclic-sequence mathematics.
+
+Configurations on an anonymous ring are naturally described by *cyclic*
+sequences (of occupancy bits, or of inter-robot gap lengths).  Two
+configurations are indistinguishable to the robots exactly when their
+cyclic sequences are related by a rotation (the ring has no starting
+point) or a reflection (the ring has no orientation).  This module
+gathers the pure sequence-level machinery:
+
+* rotations, reflections and their orbits,
+* lexicographically minimal rotation (canonical form), via Booth's
+  algorithm in :math:`O(n)`,
+* the smallest period of a cyclic sequence,
+* rotational-symmetry and reflective-symmetry tests,
+* the dihedral canonical form (minimum over rotations *and* reflections).
+
+Everything here is independent of rings and robots and is reused by
+:mod:`repro.core.views`, :mod:`repro.core.configuration` and the
+configuration enumeration in :mod:`repro.analysis.enumeration`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple, TypeVar
+
+__all__ = [
+    "rotate",
+    "reflect",
+    "rotations",
+    "reflections",
+    "all_dihedral_images",
+    "min_rotation_index",
+    "canonical_rotation",
+    "canonical_dihedral",
+    "smallest_period",
+    "is_rotationally_symmetric",
+    "reflection_matches",
+    "is_reflectively_symmetric",
+]
+
+T = TypeVar("T")
+
+
+def rotate(seq: Sequence[T], offset: int) -> Tuple[T, ...]:
+    """Return ``seq`` rotated so that element ``offset`` comes first.
+
+    ``rotate((a, b, c), 1) == (b, c, a)``.  The offset is taken modulo the
+    length; rotating the empty sequence returns the empty tuple.
+    """
+    items = tuple(seq)
+    if not items:
+        return items
+    offset %= len(items)
+    return items[offset:] + items[:offset]
+
+
+def reflect(seq: Sequence[T]) -> Tuple[T, ...]:
+    """Return the reflection of a cyclic sequence.
+
+    The reflection keeps the first element in place and reverses the
+    travelling direction: ``(q0, q1, ..., qm)`` becomes
+    ``(q0, qm, ..., q1)``.  This matches the paper's definition of
+    :math:`\\overline{W}` for views and corresponds to reading the ring in
+    the opposite direction starting from the same node.
+    """
+    items = tuple(seq)
+    if len(items) <= 1:
+        return items
+    return (items[0],) + tuple(reversed(items[1:]))
+
+
+def rotations(seq: Sequence[T]) -> List[Tuple[T, ...]]:
+    """All rotations of ``seq`` (length ``len(seq)``, or ``[()]`` if empty)."""
+    items = tuple(seq)
+    if not items:
+        return [items]
+    return [rotate(items, i) for i in range(len(items))]
+
+
+def reflections(seq: Sequence[T]) -> List[Tuple[T, ...]]:
+    """All rotations of the reflection of ``seq``."""
+    return rotations(reflect(seq))
+
+
+def all_dihedral_images(seq: Sequence[T]) -> List[Tuple[T, ...]]:
+    """Every image of ``seq`` under the dihedral group (rotations + reflections)."""
+    return rotations(seq) + reflections(seq)
+
+
+def min_rotation_index(seq: Sequence[T]) -> int:
+    """Index of the lexicographically minimal rotation (Booth's algorithm).
+
+    Runs in :math:`O(n)` time and :math:`O(n)` space.  For the empty
+    sequence the index is ``0``.
+    """
+    items = tuple(seq)
+    n = len(items)
+    if n == 0:
+        return 0
+    doubled = items + items
+    failure = [-1] * (2 * n)
+    best = 0
+    for j in range(1, 2 * n):
+        i = failure[j - best - 1]
+        while i != -1 and doubled[j] != doubled[best + i + 1]:
+            if doubled[j] < doubled[best + i + 1]:
+                best = j - i - 1
+            i = failure[i]
+        if doubled[j] != doubled[best + i + 1]:
+            if doubled[j] < doubled[best + i + 1]:
+                best = j
+            failure[j - best] = -1
+        else:
+            failure[j - best] = i + 1
+    return best % n
+
+
+def canonical_rotation(seq: Sequence[T]) -> Tuple[T, ...]:
+    """The lexicographically minimal rotation of ``seq``."""
+    return rotate(seq, min_rotation_index(seq))
+
+
+def canonical_dihedral(seq: Sequence[T]) -> Tuple[T, ...]:
+    """The lexicographically minimal image under rotations and reflections.
+
+    This is the canonical form used to identify configurations that are
+    indistinguishable on an anonymous, unoriented ring.
+    """
+    forward = canonical_rotation(seq)
+    backward = canonical_rotation(tuple(reversed(tuple(seq))))
+    return min(forward, backward)
+
+
+def smallest_period(seq: Sequence[T]) -> int:
+    """Length of the smallest period of the *cyclic* sequence ``seq``.
+
+    The period ``p`` divides ``len(seq)`` and satisfies
+    ``seq[i] == seq[(i + p) % len(seq)]`` for all ``i``.  A sequence whose
+    smallest period equals its length is aperiodic.  The empty sequence
+    has period ``0``.
+    """
+    items = tuple(seq)
+    n = len(items)
+    if n == 0:
+        return 0
+    for p in range(1, n + 1):
+        if n % p != 0:
+            continue
+        if all(items[i] == items[(i + p) % n] for i in range(n)):
+            return p
+    return n  # pragma: no cover - unreachable, p == n always matches
+
+
+def is_rotationally_symmetric(seq: Sequence[T]) -> bool:
+    """Whether a *non-trivial* rotation maps the cyclic sequence to itself.
+
+    Matches the paper's definition of a *periodic* configuration
+    (invariant under non-complete rotations).
+    """
+    items = tuple(seq)
+    return len(items) > 0 and smallest_period(items) < len(items)
+
+
+def reflection_matches(seq: Sequence[T]) -> List[int]:
+    """Rotation offsets ``i`` such that ``rotate(seq, i) == reversed(seq)``.
+
+    Each match corresponds to an axis of reflection of the cyclic
+    sequence; the list is empty iff the sequence is reflectively
+    asymmetric.
+    """
+    items = tuple(seq)
+    n = len(items)
+    if n == 0:
+        return []
+    rev = tuple(reversed(items))
+    return [i for i in range(n) if rotate(items, i) == rev]
+
+
+def is_reflectively_symmetric(seq: Sequence[T]) -> bool:
+    """Whether some reflection maps the cyclic sequence to itself."""
+    return bool(reflection_matches(seq))

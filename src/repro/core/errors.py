@@ -1,0 +1,75 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by the library derive from :class:`RingSimError` so
+that callers can catch library-originated failures with a single handler
+while still distinguishing the precise failure mode when needed.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "RingSimError",
+    "InvalidRingError",
+    "InvalidConfigurationError",
+    "NotOccupiedError",
+    "CollisionError",
+    "ExclusivityViolationError",
+    "UnsupportedParametersError",
+    "AlgorithmPreconditionError",
+    "SchedulerError",
+    "SimulationLimitError",
+]
+
+
+class RingSimError(Exception):
+    """Base class of every exception raised by the library."""
+
+
+class InvalidRingError(RingSimError, ValueError):
+    """Raised when a ring of invalid size is requested (``n < 3``)."""
+
+
+class InvalidConfigurationError(RingSimError, ValueError):
+    """Raised when an occupancy description does not define a configuration.
+
+    Examples: negative multiplicities, node indices outside ``[0, n)``,
+    zero robots, or more distinct occupied nodes than ring nodes.
+    """
+
+
+class NotOccupiedError(RingSimError, KeyError):
+    """Raised when a view is requested from a node that holds no robot."""
+
+
+class CollisionError(RingSimError, RuntimeError):
+    """Raised when two robots would occupy one node under exclusivity.
+
+    The CORDA adversary can often *force* collisions against incorrect
+    algorithms; the simulator surfaces this as :class:`CollisionError`
+    (or records it on the trace when running in permissive mode).
+    """
+
+
+class ExclusivityViolationError(RingSimError, ValueError):
+    """Raised when an exclusive configuration is required but not given."""
+
+
+class UnsupportedParametersError(RingSimError, ValueError):
+    """Raised when ``(n, k)`` falls outside an algorithm's proven range."""
+
+
+class AlgorithmPreconditionError(RingSimError, RuntimeError):
+    """Raised when an algorithm observes a configuration it cannot handle.
+
+    The paper's algorithms assume rigid exclusive starting configurations;
+    feeding e.g. a periodic configuration to :class:`~repro.algorithms.align.AlignAlgorithm`
+    raises this error rather than silently misbehaving.
+    """
+
+
+class SchedulerError(RingSimError, RuntimeError):
+    """Raised when a scheduler produces an inconsistent activation."""
+
+
+class SimulationLimitError(RingSimError, RuntimeError):
+    """Raised when a bounded run exhausts its step budget before its goal."""

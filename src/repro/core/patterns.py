@@ -1,0 +1,243 @@
+"""The view-pattern language of the paper (Lemmas 3-5).
+
+The correctness analysis of Align describes families of configurations
+through patterns over interval sequences, written with the conventions
+
+* ``x``      — the interval has length exactly ``x``,
+* ``x*``     — zero or more intervals of length ``x``,
+* ``x+``     — one or more intervals of length ``x``,
+* ``x{m}``   — exactly ``m`` intervals of length ``x``,
+* ``{ ... }+`` — one or more repetitions of a whole group.
+
+A configuration *belongs to* a pattern when at least one of its (up to
+``2 k``) views matches the pattern exactly.  This module implements a
+tiny backtracking matcher over such patterns; it is used by the analysis
+helpers and by the tests that machine-check the case analyses of
+Lemmas 3, 4 and 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Tuple, Union
+
+__all__ = [
+    "Lit",
+    "Repeat",
+    "Group",
+    "Pattern",
+    "literal",
+    "star",
+    "plus",
+    "times",
+    "group_plus",
+    "group_star",
+]
+
+
+@dataclass(frozen=True)
+class Lit:
+    """A single interval of exactly the given length."""
+
+    value: int
+
+
+@dataclass(frozen=True)
+class Group:
+    """A fixed sequence of pattern elements treated as one unit."""
+
+    items: Tuple["Element", ...]
+
+    def __init__(self, *items: "Element") -> None:
+        object.__setattr__(self, "items", tuple(_normalise(i) for i in items))
+
+
+@dataclass(frozen=True)
+class Repeat:
+    """Repetition of an element or group.
+
+    ``minimum`` repetitions are required; ``maximum`` is ``None`` for an
+    unbounded repetition (``*`` / ``+``) or an exact bound (``{m}`` uses
+    ``minimum == maximum == m``).
+    """
+
+    item: Union[Lit, Group]
+    minimum: int
+    maximum: Union[int, None] = None
+
+    def __post_init__(self) -> None:
+        if self.minimum < 0:
+            raise ValueError("minimum repetition count cannot be negative")
+        if self.maximum is not None and self.maximum < self.minimum:
+            raise ValueError("maximum repetition count below minimum")
+
+
+Element = Union[Lit, Group, Repeat]
+
+
+def _normalise(item: Union[int, Element]) -> Element:
+    if isinstance(item, int):
+        return Lit(item)
+    if isinstance(item, (Lit, Group, Repeat)):
+        return item
+    raise TypeError(f"cannot use {item!r} as a pattern element")
+
+
+def literal(value: int) -> Lit:
+    """An interval of exactly ``value`` empty nodes."""
+    return Lit(value)
+
+
+def star(value: int) -> Repeat:
+    """``value*`` — zero or more intervals of length ``value``."""
+    return Repeat(Lit(value), 0, None)
+
+
+def plus(value: int) -> Repeat:
+    """``value+`` — one or more intervals of length ``value``."""
+    return Repeat(Lit(value), 1, None)
+
+
+def times(value: int, count: int) -> Repeat:
+    """``value{count}`` — exactly ``count`` intervals of length ``value``."""
+    return Repeat(Lit(value), count, count)
+
+
+def group_plus(*items: Union[int, Element]) -> Repeat:
+    """``{ ... }+`` — one or more repetitions of the whole group."""
+    return Repeat(Group(*items), 1, None)
+
+
+def group_star(*items: Union[int, Element]) -> Repeat:
+    """``{ ... }*`` — zero or more repetitions of the whole group."""
+    return Repeat(Group(*items), 0, None)
+
+
+class Pattern:
+    """An anchored pattern over interval sequences.
+
+    Example -- the pattern :math:`(0, 1, 1^+, 2)` from Lemma 4::
+
+        Pattern(0, 1, plus(1), 2)
+
+    and the pattern
+    :math:`(0^{\\ell_1}, 1, \\{0^{\\ell_1-1}, 1\\}^+, 0^{\\ell_1-2}, 1)`::
+
+        Pattern(times(0, l1), 1, group_plus(times(0, l1 - 1), 1), times(0, l1 - 2), 1)
+    """
+
+    def __init__(self, *items: Union[int, Element]) -> None:
+        self._items: Tuple[Element, ...] = tuple(_normalise(i) for i in items)
+
+    @property
+    def items(self) -> Tuple[Element, ...]:
+        """The normalised pattern elements."""
+        return self._items
+
+    def matches(self, sequence: Sequence[int]) -> bool:
+        """Whether ``sequence`` matches the pattern exactly (full anchored match)."""
+        seq = tuple(int(v) for v in sequence)
+        return _match_items(self._items, seq, 0)
+
+    def matches_any(self, sequences: Iterable[Sequence[int]]) -> bool:
+        """Whether any of the given sequences matches the pattern."""
+        return any(self.matches(s) for s in sequences)
+
+    def matches_configuration(self, configuration) -> bool:
+        """Whether the configuration *belongs to* the pattern.
+
+        A configuration belongs to a pattern if at least one of its
+        directed views matches (paper, Section 3.2).
+        """
+        nodes = configuration.support
+        views = []
+        for node in nodes:
+            cw, ccw = configuration.views_of(node)
+            views.append(cw)
+            views.append(ccw)
+        return self.matches_any(views)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Pattern({', '.join(_render(i) for i in self._items)})"
+
+
+def _render(item: Element) -> str:  # pragma: no cover - cosmetic
+    if isinstance(item, Lit):
+        return str(item.value)
+    if isinstance(item, Group):
+        return "{" + ", ".join(_render(i) for i in item.items) + "}"
+    if isinstance(item, Repeat):
+        inner = _render(item.item)
+        if item.maximum is None:
+            suffix = "*" if item.minimum == 0 else "+" if item.minimum == 1 else f">={item.minimum}"
+        elif item.minimum == item.maximum:
+            suffix = f"{{{item.minimum}}}"
+        else:
+            suffix = f"{{{item.minimum},{item.maximum}}}"
+        return inner + suffix
+    raise TypeError(item)
+
+
+def _match_items(
+    items: Tuple[Element, ...], seq: Tuple[int, ...], pos: int, *, partial: bool = False
+) -> Union[bool, int, None]:
+    """Backtracking matcher.
+
+    With ``partial=False`` returns a boolean: whether ``items`` consumes
+    ``seq[pos:]`` entirely.  With ``partial=True`` returns the position
+    after the (first, greedy-then-backtracking) match or ``None``.
+    """
+    if not items:
+        if partial:
+            return pos
+        return pos == len(seq)
+    head, rest = items[0], items[1:]
+    if isinstance(head, (Lit, Group)):
+        candidates = _occurrence_ends(head, seq, pos, 1, 1)
+    else:
+        candidates = _occurrence_ends(head.item, seq, pos, head.minimum, head.maximum)
+    for end in candidates:
+        result = _match_items(rest, seq, end, partial=partial)
+        if partial:
+            if result is not None:
+                return result
+        else:
+            if result:
+                return True
+    return None if partial else False
+
+
+def _occurrence_ends(
+    item: Union[Lit, Group],
+    seq: Tuple[int, ...],
+    pos: int,
+    minimum: int,
+    maximum: Union[int, None],
+) -> Tuple[int, ...]:
+    """Positions reachable by matching ``item`` between ``minimum`` and ``maximum`` times."""
+    ends = []
+    current = pos
+    count = 0
+    if count >= minimum:
+        ends.append(current)
+    while maximum is None or count < maximum:
+        nxt = _single_occurrence_end(item, seq, current)
+        if nxt is None:
+            break
+        current = nxt
+        count += 1
+        if count >= minimum:
+            ends.append(current)
+    # Longest-first keeps the classic greedy behaviour while still backtracking.
+    return tuple(reversed(ends))
+
+
+def _single_occurrence_end(
+    item: Union[Lit, Group], seq: Tuple[int, ...], pos: int
+) -> Union[int, None]:
+    if isinstance(item, Lit):
+        if pos < len(seq) and seq[pos] == item.value:
+            return pos + 1
+        return None
+    result = _match_items(item.items, seq, pos, partial=True)
+    return result

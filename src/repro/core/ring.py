@@ -1,0 +1,167 @@
+"""Anonymous ring topology.
+
+The paper's robots live on an *anonymous, unoriented* ring: nodes and
+edges carry no labels and there is no globally agreed sense of direction.
+Inside the library we nevertheless need concrete node identifiers to
+store state; we use the integers ``0 .. n-1`` arranged cyclically, with
+the convention that direction ``+1`` ("clockwise", :data:`CW`) goes from
+``i`` to ``(i + 1) % n`` and direction ``-1`` (:data:`CCW`) the other
+way.  These identifiers and directions are *never* exposed to the robots
+themselves — robots only receive :class:`~repro.model.snapshot.Snapshot`
+objects expressed in their own local frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+from .errors import InvalidRingError
+
+__all__ = ["CW", "CCW", "Ring", "Edge", "edge"]
+
+#: Global "clockwise" direction (increasing node index modulo ``n``).
+CW: int = 1
+#: Global "counter-clockwise" direction (decreasing node index modulo ``n``).
+CCW: int = -1
+
+#: An undirected ring edge, normalised as an ordered pair ``(u, v)``.
+Edge = Tuple[int, int]
+
+
+def edge(u: int, v: int, n: int) -> Edge:
+    """Return the normalised undirected edge between adjacent nodes.
+
+    Edges are stored as ordered pairs ``(i, (i + 1) % n)`` where ``i`` is
+    the smaller endpoint along the clockwise orientation; the edge between
+    ``n - 1`` and ``0`` is represented as ``(n - 1, 0)``.
+
+    Raises:
+        ValueError: if ``u`` and ``v`` are not adjacent on a ring of
+            size ``n``.
+    """
+    if (u + 1) % n == v:
+        return (u, v)
+    if (v + 1) % n == u:
+        return (v, u)
+    raise ValueError(f"nodes {u} and {v} are not adjacent on a ring of size {n}")
+
+
+@dataclass(frozen=True)
+class Ring:
+    """An anonymous ring with ``n >= 3`` nodes.
+
+    The class is a lightweight immutable value object exposing the purely
+    topological queries used throughout the library (neighbourhoods,
+    distances, directed walks, segments of consecutive nodes).
+
+    Attributes:
+        n: number of nodes.
+    """
+
+    n: int
+
+    def __post_init__(self) -> None:
+        if self.n < 3:
+            raise InvalidRingError(f"a ring needs at least 3 nodes, got n={self.n}")
+
+    # ------------------------------------------------------------------ #
+    # basic topology
+    # ------------------------------------------------------------------ #
+    @property
+    def nodes(self) -> range:
+        """The nodes ``0 .. n-1``."""
+        return range(self.n)
+
+    def edges(self) -> List[Edge]:
+        """All ``n`` undirected edges in normalised form."""
+        return [(i, (i + 1) % self.n) for i in range(self.n)]
+
+    def edge_between(self, u: int, v: int) -> Edge:
+        """Normalised edge between adjacent ``u`` and ``v`` (see :func:`edge`)."""
+        return edge(u, v, self.n)
+
+    def contains(self, node: int) -> bool:
+        """Whether ``node`` is a valid node index."""
+        return 0 <= node < self.n
+
+    def successor(self, node: int, direction: int = CW) -> int:
+        """The neighbour of ``node`` in ``direction`` (``CW`` or ``CCW``)."""
+        if direction not in (CW, CCW):
+            raise ValueError(f"direction must be CW (+1) or CCW (-1), got {direction}")
+        return (node + direction) % self.n
+
+    def neighbors(self, node: int) -> Tuple[int, int]:
+        """Both neighbours of ``node`` as ``(clockwise, counter-clockwise)``."""
+        return (node + 1) % self.n, (node - 1) % self.n
+
+    def are_adjacent(self, u: int, v: int) -> bool:
+        """Whether ``u`` and ``v`` share an edge."""
+        return (u - v) % self.n in (1, self.n - 1)
+
+    # ------------------------------------------------------------------ #
+    # distances and walks
+    # ------------------------------------------------------------------ #
+    def directed_distance(self, u: int, v: int, direction: int = CW) -> int:
+        """Number of edges from ``u`` to ``v`` walking in ``direction``."""
+        if direction == CW:
+            return (v - u) % self.n
+        if direction == CCW:
+            return (u - v) % self.n
+        raise ValueError(f"direction must be CW (+1) or CCW (-1), got {direction}")
+
+    def distance(self, u: int, v: int) -> int:
+        """Graph distance (length of the shortest of the two arcs)."""
+        d = (v - u) % self.n
+        return min(d, self.n - d)
+
+    def are_diametral(self, u: int, v: int) -> bool:
+        """Whether ``u`` and ``v`` occupy *diametral* positions.
+
+        Following the paper (Section 4.2): for even ``n`` the two arcs
+        between the nodes have equal length; for odd ``n`` the arc lengths
+        differ by exactly one.
+        """
+        d = (v - u) % self.n
+        other = self.n - d
+        if u == v:
+            return False
+        if self.n % 2 == 0:
+            return d == other
+        return abs(d - other) == 1
+
+    def walk(self, start: int, steps: int, direction: int = CW) -> List[int]:
+        """The nodes visited by a ``steps``-edge walk from ``start``.
+
+        The returned list has ``steps + 1`` entries and includes ``start``.
+        """
+        if steps < 0:
+            raise ValueError("steps must be non-negative")
+        return [(start + direction * i) % self.n for i in range(steps + 1)]
+
+    def arc(self, u: int, v: int, direction: int = CW) -> List[int]:
+        """Nodes of the arc from ``u`` to ``v`` (inclusive) in ``direction``."""
+        return self.walk(u, self.directed_distance(u, v, direction), direction)
+
+    def strictly_between(self, u: int, v: int, direction: int = CW) -> List[int]:
+        """Nodes strictly between ``u`` and ``v`` walking in ``direction``."""
+        full = self.arc(u, v, direction)
+        return full[1:-1]
+
+    def iter_from(self, start: int, direction: int = CW) -> Iterator[int]:
+        """Iterate over all ``n`` nodes starting at ``start`` in ``direction``."""
+        for i in range(self.n):
+            yield (start + direction * i) % self.n
+
+    # ------------------------------------------------------------------ #
+    # segments
+    # ------------------------------------------------------------------ #
+    def segment_edges(self, nodes: Sequence[int]) -> List[Edge]:
+        """Edges of a walk given as a node sequence (consecutive nodes adjacent)."""
+        out: List[Edge] = []
+        for a, b in zip(nodes, nodes[1:]):
+            out.append(self.edge_between(a, b))
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Ring(n={self.n})"

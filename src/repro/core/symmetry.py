@@ -1,0 +1,118 @@
+"""Brute-force symmetry oracle for node subsets of a ring.
+
+:class:`repro.core.configuration.Configuration` detects symmetry and
+periodicity through the view machinery (Property 1 of the paper), which
+is the efficient path used by the algorithms.  This module provides an
+*independent*, geometry-level implementation working directly on the set
+of occupied nodes and the dihedral group of the ring.  The two
+implementations are cross-checked against each other by property-based
+tests, which is how we gain confidence in the subtle view-based logic.
+
+A reflection of the ring ``Z_n`` is the map ``x -> (c - x) mod n`` for a
+*reflection index* ``c`` in ``0 .. n-1``.  Its axis passes through the
+points ``c / 2`` and ``(c + n) / 2`` (nodes when the value is an integer,
+edge midpoints otherwise).  A rotation is ``x -> (x + r) mod n``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Tuple
+
+__all__ = [
+    "reflect_node",
+    "rotate_node",
+    "rotation_symmetries",
+    "reflection_symmetries",
+    "is_periodic_support",
+    "is_symmetric_support",
+    "is_rigid_support",
+    "Axis",
+    "symmetry_axes",
+]
+
+
+def rotate_node(node: int, r: int, n: int) -> int:
+    """Image of ``node`` under the rotation by ``r`` positions."""
+    return (node + r) % n
+
+
+def reflect_node(node: int, c: int, n: int) -> int:
+    """Image of ``node`` under the reflection with reflection index ``c``."""
+    return (c - node) % n
+
+
+def _as_set(support: Iterable[int]) -> FrozenSet[int]:
+    return frozenset(support)
+
+
+def rotation_symmetries(support: Iterable[int], n: int) -> List[int]:
+    """Non-trivial rotations ``r`` (``0 < r < n``) mapping ``support`` to itself."""
+    s = _as_set(support)
+    out: List[int] = []
+    for r in range(1, n):
+        if {rotate_node(x, r, n) for x in s} == s:
+            out.append(r)
+    return out
+
+
+def reflection_symmetries(support: Iterable[int], n: int) -> List[int]:
+    """Reflection indices ``c`` whose reflection maps ``support`` to itself."""
+    s = _as_set(support)
+    out: List[int] = []
+    for c in range(n):
+        if {reflect_node(x, c, n) for x in s} == s:
+            out.append(c)
+    return out
+
+
+def is_periodic_support(support: Iterable[int], n: int) -> bool:
+    """Whether the occupied set is invariant under a non-trivial rotation."""
+    return bool(rotation_symmetries(support, n))
+
+
+def is_symmetric_support(support: Iterable[int], n: int) -> bool:
+    """Whether the occupied set admits an axis of reflection."""
+    return bool(reflection_symmetries(support, n))
+
+
+def is_rigid_support(support: Iterable[int], n: int) -> bool:
+    """Rigid = aperiodic and asymmetric (the paper's definition)."""
+    return not is_periodic_support(support, n) and not is_symmetric_support(support, n)
+
+
+@dataclass(frozen=True)
+class Axis:
+    """A reflection axis of the ring, described by its two anchor points.
+
+    Each anchor is expressed in *half-node units*: an even value ``2 v``
+    denotes node ``v``; an odd value ``2 v + 1`` denotes the midpoint of
+    the edge between nodes ``v`` and ``v + 1``.
+
+    Attributes:
+        reflection_index: the ``c`` of the map ``x -> (c - x) mod n``.
+        anchors: the two fixed points of the axis, in half-node units
+            (sorted), each in ``0 .. 2 n - 1``.
+    """
+
+    reflection_index: int
+    anchors: Tuple[int, int]
+
+    def passes_through_node(self, node: int) -> bool:
+        """Whether the axis passes through the given node (not an edge)."""
+        return 2 * node in self.anchors
+
+    def node_anchors(self) -> List[int]:
+        """The nodes (if any) the axis passes through."""
+        return [a // 2 for a in self.anchors if a % 2 == 0]
+
+
+def symmetry_axes(support: Iterable[int], n: int) -> List[Axis]:
+    """All reflection axes of the occupied set, with geometric anchors."""
+    axes: List[Axis] = []
+    for c in reflection_symmetries(support, n):
+        first = c % (2 * n)
+        second = (c + n) % (2 * n)
+        anchors = tuple(sorted((first, second)))
+        axes.append(Axis(reflection_index=c, anchors=anchors))  # type: ignore[arg-type]
+    return axes

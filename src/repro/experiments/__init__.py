@@ -1,0 +1,25 @@
+"""Experiments E1-E7: one module per reproduced paper artifact."""
+
+from . import (
+    e1_configuration_census,
+    e2_align_convergence,
+    e3_ring_clearing,
+    e4_nminusthree,
+    e5_gathering,
+    e6_feasibility_table,
+    e7_scaling,
+)
+from .report import ExperimentResult, render_table
+
+#: Registry mapping experiment identifiers to their runner functions.
+EXPERIMENTS = {
+    "e1": e1_configuration_census.run,
+    "e2": e2_align_convergence.run,
+    "e3": e3_ring_clearing.run,
+    "e4": e4_nminusthree.run,
+    "e5": e5_gathering.run,
+    "e6": e6_feasibility_table.run,
+    "e7": e7_scaling.run,
+}
+
+__all__ = ["EXPERIMENTS", "ExperimentResult", "render_table"]

@@ -1,0 +1,112 @@
+"""Experiment E7 — scaling behaviour of the constructive algorithms.
+
+The paper's constructions imply quantitative behaviour that the theorems
+do not spell out: Align converges within ``O(n * k)`` moves, the
+Ring Clearing / NminusThree phase-2 cycles revisit the all-clear state
+every ``Theta(n)`` moves, and Gathering needs ``O(n + k^2)``-ish moves.
+This experiment measures those quantities over sweeps of ``n`` (at fixed
+``k``) and of ``k`` (at fixed ``n``), producing the series that the
+repository's EXPERIMENTS.md tabulates.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..algorithms.align import AlignAlgorithm
+from ..algorithms.gathering import GatheringAlgorithm, gathering_supported
+from ..algorithms.nminusthree import NminusThreeAlgorithm, nminusthree_supported
+from ..algorithms.ring_clearing import RingClearingAlgorithm, ring_clearing_supported
+from ..analysis.metrics import clearing_metrics, summarize
+from ..simulator.engine import Simulator
+from ..simulator.runner import run_gathering
+from ..tasks import SearchingMonitor
+from ..workloads.generators import random_rigid_configuration
+from ..workloads.suites import get_suite
+from .report import ExperimentResult
+
+__all__ = ["run"]
+
+
+def _align_moves(n: int, k: int, samples: int, seed: int) -> dict:
+    rng = random.Random(seed)
+    moves = []
+    for _ in range(samples):
+        configuration = random_rigid_configuration(n, k, rng)
+        engine = Simulator(AlignAlgorithm(), configuration)
+        trace = engine.run_until(lambda sim: sim.configuration.is_c_star(), 40 * n * k + 200)
+        moves.append(trace.total_moves)
+    return summarize(moves)
+
+
+def _gathering_moves(n: int, k: int, samples: int, seed: int) -> dict:
+    rng = random.Random(seed + 1)
+    moves = []
+    for _ in range(samples):
+        configuration = random_rigid_configuration(n, k, rng)
+        trace, _ = run_gathering(GatheringAlgorithm(), configuration, max_steps=60 * n * k + 400)
+        moves.append(trace.total_moves)
+    return summarize(moves)
+
+
+def _clearing_cost(n: int, k: int, samples: int, seed: int, steps_factor: int) -> dict:
+    rng = random.Random(seed + 2)
+    costs = []
+    for _ in range(samples):
+        configuration = random_rigid_configuration(n, k, rng)
+        if ring_clearing_supported(n, k):
+            algorithm = RingClearingAlgorithm()
+        elif nminusthree_supported(n, k):
+            algorithm = NminusThreeAlgorithm()
+        else:
+            return {"mean": float("nan"), "min": 0.0, "max": 0.0, "stdev": 0.0}
+        searching = SearchingMonitor()
+        engine = Simulator(algorithm, configuration, monitors=[searching])
+        engine.run(steps_factor * n * k)
+        metrics = clearing_metrics(searching, trace=engine.trace)
+        if metrics.moves_to_full_clear is not None:
+            costs.append(metrics.moves_to_full_clear)
+    return summarize(costs)
+
+
+def run(variant: str = "quick") -> ExperimentResult:
+    """Run E7 and return its result table."""
+    suite = get_suite("e7", variant)
+    result = ExperimentResult(
+        experiment="E7",
+        title="Scaling: Align moves, gathering moves, full-clearing cost vs (k, n)",
+        header=(
+            "k",
+            "n",
+            "align moves (mean)",
+            "align moves / (n*k)",
+            "gathering moves (mean)",
+            "moves to full clear (mean)",
+            "full clear moves / n",
+        ),
+    )
+    for k, n in suite.pairs:
+        align_stats = _align_moves(n, k, suite.samples_per_pair, suite.seed + n * 131 + k)
+        gather_stats = (
+            _gathering_moves(n, k, suite.samples_per_pair, suite.seed + n * 7 + k)
+            if gathering_supported(n, k)
+            else {"mean": float("nan")}
+        )
+        cost_stats = _clearing_cost(
+            n, k, max(2, suite.samples_per_pair // 2), suite.seed, suite.steps_factor
+        )
+        cost_mean = cost_stats["mean"]
+        result.add_row(
+            k,
+            n,
+            align_stats["mean"],
+            align_stats["mean"] / (n * k),
+            gather_stats["mean"],
+            cost_mean,
+            (cost_mean / n) if cost_mean == cost_mean and cost_mean else "-",
+        )
+    result.add_note(
+        "expected shape: align moves / (n*k) stays bounded by a small constant; "
+        "the cost of the first full clearing stays within a small multiple of n"
+    )
+    return result

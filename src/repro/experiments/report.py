@@ -1,0 +1,74 @@
+"""Experiment result containers and plain-text table rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Tuple
+
+__all__ = ["ExperimentResult", "render_table"]
+
+
+def render_table(header: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render rows as a fixed-width plain-text table.
+
+    Column widths adapt to the content; floats are shown with two decimal
+    places.  The output is deliberately free of external dependencies so
+    that experiments can be run anywhere.
+    """
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.2f}"
+        return str(value)
+
+    materialised: List[List[str]] = [[fmt(v) for v in row] for row in rows]
+    columns = len(header)
+    widths = [len(h) for h in header]
+    for row in materialised:
+        for index in range(min(columns, len(row))):
+            widths[index] = max(widths[index], len(row[index]))
+    lines = []
+    lines.append(" | ".join(h.ljust(widths[i]) for i, h in enumerate(header)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in materialised:
+        lines.append(" | ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment run.
+
+    Attributes:
+        experiment: experiment identifier (``E1`` .. ``E7``).
+        title: human-readable title (which paper artifact it reproduces).
+        header: column names of the result table.
+        rows: result rows.
+        notes: free-form remarks (expected shapes, deviations, ...).
+        passed: overall pass/fail of the experiment's internal checks.
+    """
+
+    experiment: str
+    title: str
+    header: Tuple[str, ...]
+    rows: List[Tuple[object, ...]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    passed: bool = True
+
+    def add_row(self, *values: object) -> None:
+        """Append one row to the result table."""
+        self.rows.append(tuple(values))
+
+    def add_note(self, note: str) -> None:
+        """Append one remark."""
+        self.notes.append(note)
+
+    def render(self) -> str:
+        """Full plain-text report for this experiment."""
+        out = [f"== {self.experiment}: {self.title} ==", ""]
+        out.append(render_table(self.header, self.rows))
+        if self.notes:
+            out.append("")
+            out.extend(f"note: {note}" for note in self.notes)
+        out.append("")
+        out.append(f"result: {'PASS' if self.passed else 'FAIL'}")
+        return "\n".join(out)

@@ -1,0 +1,16 @@
+"""Robot model: snapshots, decisions, the algorithm protocol, robot state."""
+
+from .algorithm import Algorithm, GlobalRuleAlgorithm, PlannedMoves
+from .decisions import Decision, DecisionKind
+from .robot import RobotState
+from .snapshot import Snapshot
+
+__all__ = [
+    "Algorithm",
+    "GlobalRuleAlgorithm",
+    "PlannedMoves",
+    "Decision",
+    "DecisionKind",
+    "RobotState",
+    "Snapshot",
+]

@@ -1,0 +1,103 @@
+"""Algorithm protocol and the global-rule adapter.
+
+The paper describes its algorithms in a *global* style ("the robot whose
+view equals the supermin view moves towards ...") and then argues that
+each robot can decide, from its own snapshot alone, whether it is the
+designated robot.  The library mirrors this structure:
+
+* :class:`Algorithm` is the strict per-robot interface: a pure function
+  from :class:`~repro.model.snapshot.Snapshot` to
+  :class:`~repro.model.decisions.Decision` — exactly what an oblivious,
+  anonymous, uniform robot may compute.
+
+* :class:`GlobalRuleAlgorithm` is a convenience base class implementing
+  the snapshot-to-decision plumbing once: it reconstructs the
+  configuration in the robot's own frame (self at node ``0``, positive
+  direction = the direction of ``views[0]``), calls the subclass's
+  :meth:`GlobalRuleAlgorithm.plan` on it, and checks whether node ``0``
+  is among the planned movers.  Provided the planner is *equivariant*
+  (its output commutes with ring rotations and reflections — which any
+  rule phrased purely in terms of views automatically is), every robot
+  reaches a consistent conclusion and the per-robot algorithm is a
+  faithful min-CORDA algorithm.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Mapping
+
+from ..core.configuration import Configuration
+from ..core.errors import AlgorithmPreconditionError
+from .decisions import Decision
+from .snapshot import Snapshot
+
+__all__ = ["Algorithm", "GlobalRuleAlgorithm", "PlannedMoves"]
+
+#: A plan: mapping from mover node to its adjacent target node, expressed
+#: in the labelling of the configuration handed to the planner.
+PlannedMoves = Mapping[int, int]
+
+
+class Algorithm(ABC):
+    """A min-CORDA algorithm: a pure function from snapshot to decision.
+
+    Implementations must be deterministic and must not keep state across
+    invocations (the robots are oblivious); the simulator may call
+    :meth:`compute` for different robots and different times in any
+    order.
+    """
+
+    #: Human-readable algorithm name, used in traces and reports.
+    name: str = "algorithm"
+
+    @abstractmethod
+    def compute(self, snapshot: Snapshot) -> Decision:
+        """Return the decision of a robot that observed ``snapshot``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class GlobalRuleAlgorithm(Algorithm):
+    """Base class for algorithms defined by an equivariant global planner."""
+
+    def compute(self, snapshot: Snapshot) -> Decision:
+        configuration = snapshot.local_configuration()
+        moves = self.plan_for_snapshot(configuration, snapshot)
+        if 0 not in moves:
+            return Decision.idle()
+        target = moves[0]
+        n = snapshot.n
+        if target == 1 % n:
+            return Decision.move_toward(0)
+        if target == (n - 1) % n:
+            return Decision.move_toward(1)
+        raise AlgorithmPreconditionError(
+            f"planner asked the robot at node 0 to move to non-adjacent node {target}"
+        )
+
+    def plan_for_snapshot(
+        self, configuration: Configuration, snapshot: Snapshot
+    ) -> PlannedMoves:
+        """Hook allowing subclasses to use snapshot-only data (e.g. multiplicity).
+
+        The default simply delegates to :meth:`plan`.
+        """
+        return self.plan(configuration)
+
+    @abstractmethod
+    def plan(self, configuration: Configuration) -> PlannedMoves:
+        """Return the moves the algorithm prescribes in this configuration.
+
+        The mapping associates each mover node with the adjacent node it
+        must move to.  The rule must be equivariant: relabelling the
+        configuration by a ring automorphism must relabel the output in
+        the same way.  Rules phrased in terms of views (as all of the
+        paper's rules are) satisfy this automatically.
+        """
+
+    # Convenience used by tests and by the engine's "global dry-run" mode. #
+    def planned_moves(self, configuration: Configuration) -> Dict[int, int]:
+        """Public wrapper returning a concrete dict copy of :meth:`plan`."""
+        return dict(self.plan(configuration))

@@ -1,0 +1,67 @@
+"""Decisions produced by the Compute phase.
+
+A robot may either stay idle or move to one of its two neighbours.
+Because robots have no chirality, a movement decision is expressed
+relative to the snapshot it was computed from: "move towards the
+direction in which ``views[i]`` was read".  The simulation engine, which
+knows which global direction each presented view corresponded to,
+translates the decision back into a global target node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+__all__ = ["DecisionKind", "Decision"]
+
+
+class DecisionKind(Enum):
+    """Whether the robot stays idle or moves."""
+
+    IDLE = "idle"
+    MOVE = "move"
+
+
+@dataclass(frozen=True)
+class Decision:
+    """The outcome of a Compute phase.
+
+    Attributes:
+        kind: idle or move.
+        toward_view: for a move, the index (``0`` or ``1``) of the
+            snapshot view whose reading direction the robot follows for
+            one edge; ``None`` for idle decisions.
+    """
+
+    kind: DecisionKind
+    toward_view: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind is DecisionKind.MOVE:
+            if self.toward_view not in (0, 1):
+                raise ValueError("a move decision must target view index 0 or 1")
+        else:
+            if self.toward_view is not None:
+                raise ValueError("an idle decision cannot carry a view index")
+
+    @classmethod
+    def idle(cls) -> "Decision":
+        """Stay on the current node."""
+        return cls(DecisionKind.IDLE)
+
+    @classmethod
+    def move_toward(cls, view_index: int) -> "Decision":
+        """Move one edge in the direction ``views[view_index]`` was read."""
+        return cls(DecisionKind.MOVE, view_index)
+
+    @property
+    def is_move(self) -> bool:
+        """Whether this decision moves the robot."""
+        return self.kind is DecisionKind.MOVE
+
+    @property
+    def is_idle(self) -> bool:
+        """Whether this decision keeps the robot in place."""
+        return self.kind is DecisionKind.IDLE

@@ -1,0 +1,45 @@
+"""Runtime robot records used by the simulation engine.
+
+Robot identities exist purely for bookkeeping (pending moves, per-robot
+exploration statistics) and are never exposed to the algorithms, which
+see only anonymous snapshots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["RobotState"]
+
+
+@dataclass
+class RobotState:
+    """Mutable per-robot state tracked by the engine.
+
+    Attributes:
+        robot_id: internal identifier (index into the engine's robot list).
+        position: current node.
+        pending_target: node the robot has committed to move to (the Move
+            phase of an already-computed cycle that has not been executed
+            yet), or ``None`` when the robot has no pending move.
+        looks: number of Look phases performed.
+        moves: number of edges traversed.
+        idles: number of cycles that resulted in an idle decision.
+    """
+
+    robot_id: int
+    position: int
+    pending_target: Optional[int] = None
+    looks: int = 0
+    moves: int = 0
+    idles: int = 0
+
+    @property
+    def has_pending_move(self) -> bool:
+        """Whether a computed move is still waiting to be executed."""
+        return self.pending_target is not None
+
+    def clear_pending(self) -> None:
+        """Drop any pending move (used when a cycle completes)."""
+        self.pending_target = None

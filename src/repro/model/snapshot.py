@@ -1,0 +1,90 @@
+"""Snapshots: what a robot perceives during its Look phase.
+
+In the min-CORDA model a robot perceives the positions of all robots
+relative to itself, but the ring is anonymous and unoriented and the
+robot has no chirality: it cannot name nodes and it cannot tell
+"clockwise" from "counter-clockwise".  Everything it can extract from the
+snapshot is therefore captured by the *pair of directed views* read from
+its own node — one per travelling direction — presented in an order
+chosen by the adversary, plus (when the local multiplicity detection
+capability is assumed) whether its own node hosts more than one robot.
+
+The :class:`Snapshot` object is the only information ever handed to an
+:class:`~repro.model.algorithm.Algorithm`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..core.configuration import Configuration
+from ..core.errors import InvalidConfigurationError
+
+__all__ = ["Snapshot"]
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """The observation of one robot at Look time.
+
+    Attributes:
+        n: size of the ring.
+        views: the two directed views read from the robot's node.  The
+            order of the pair carries no global meaning (the adversary
+            may present either direction first); algorithms must not
+            attach semantics to the index beyond "the direction this view
+            was read in".
+        on_multiplicity: whether the robot's own node hosts more than one
+            robot.  Only meaningful when the simulation grants the local
+            (weak) multiplicity detection capability; it is ``False``
+            otherwise.
+    """
+
+    n: int
+    views: Tuple[Tuple[int, ...], Tuple[int, ...]]
+    on_multiplicity: bool = False
+
+    def __post_init__(self) -> None:
+        first, second = self.views
+        if len(first) != len(second):
+            raise InvalidConfigurationError("the two views must have the same length")
+        if sum(first) != sum(second):
+            raise InvalidConfigurationError("the two views must describe the same robots")
+        if len(first) + sum(first) != self.n:
+            raise InvalidConfigurationError(
+                "view length plus empty nodes must equal the ring size"
+            )
+
+    @property
+    def num_occupied(self) -> int:
+        """Number of occupied nodes visible in the snapshot (including self)."""
+        return len(self.views[0])
+
+    @property
+    def min_view(self) -> Tuple[int, ...]:
+        """The robot's view :math:`W(r)`: the smaller of the two directed views."""
+        return min(self.views)
+
+    def local_configuration(self) -> Configuration:
+        """The configuration in the robot's own frame of reference.
+
+        The robot sits at local node ``0`` and local direction ``+1`` is
+        the direction in which ``views[0]`` was read.  Only the support is
+        reconstructed (multiplicities are not perceivable remotely).
+        """
+        occupied = self.local_occupied_nodes()
+        return Configuration.from_occupied(self.n, occupied)
+
+    def local_occupied_nodes(self) -> Tuple[int, ...]:
+        """Occupied nodes in the robot's frame (self at ``0``, ``views[0]`` direction positive)."""
+        nodes = [0]
+        position = 0
+        for gap in self.views[0][:-1]:
+            position += gap + 1
+            nodes.append(position % self.n)
+        return tuple(nodes)
+
+    def other_view(self, index: int) -> Tuple[int, ...]:
+        """The view presented at the other index than ``index``."""
+        return self.views[1 - index]

@@ -1,0 +1,18 @@
+"""Adversarial schedulers for the CORDA model."""
+
+from .asynchronous import AsynchronousScheduler
+from .base import Activation, ActivationKind, Scheduler
+from .sequential import RoundRobinScheduler, ScriptedScheduler, SequentialScheduler
+from .synchronous import SemiSynchronousScheduler, SynchronousScheduler
+
+__all__ = [
+    "Activation",
+    "ActivationKind",
+    "Scheduler",
+    "SequentialScheduler",
+    "RoundRobinScheduler",
+    "ScriptedScheduler",
+    "SynchronousScheduler",
+    "SemiSynchronousScheduler",
+    "AsynchronousScheduler",
+]

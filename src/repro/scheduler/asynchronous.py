@@ -1,0 +1,102 @@
+"""Fully asynchronous (ASYNC / CORDA) scheduler.
+
+In the asynchronous model the delay between a robot's Look and its Move
+is finite but unbounded and adversary-controlled: a robot may move based
+on a snapshot that has long become outdated.  The scheduler below models
+this by decoupling ``LOOK`` and ``MOVE`` activations; at every step the
+adversary either lets some robot observe the system (committing it to a
+pending move) or releases one of the pending moves.
+
+Fairness is enforced with two knobs: a pending move is forced out after
+at most ``max_pending_age`` steps, and a robot that has not started a new
+cycle for ``fairness_bound`` steps is forced to look.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Dict, Optional
+
+from ..core.errors import SchedulerError
+from .base import Activation, Scheduler
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..simulator.engine import Simulator
+
+__all__ = ["AsynchronousScheduler"]
+
+
+class AsynchronousScheduler(Scheduler):
+    """Randomised asynchronous adversary with fairness guarantees.
+
+    Args:
+        seed: RNG seed.
+        move_bias: probability of releasing a pending move (when one
+            exists) instead of scheduling a new Look.
+        max_pending_age: a pending move older than this many scheduler
+            steps is released immediately (guarantees every cycle
+            completes).
+        fairness_bound: a robot that has not looked for this many steps
+            is scheduled to look (guarantees every robot cycles forever).
+    """
+
+    name = "asynchronous"
+
+    def __init__(
+        self,
+        seed: Optional[int] = None,
+        move_bias: float = 0.5,
+        max_pending_age: int = 25,
+        fairness_bound: int = 50,
+    ) -> None:
+        if not 0.0 <= move_bias <= 1.0:
+            raise SchedulerError("move_bias must lie in [0, 1]")
+        if max_pending_age <= 0 or fairness_bound <= 0:
+            raise SchedulerError("max_pending_age and fairness_bound must be positive")
+        self._seed = seed
+        self._rng = random.Random(seed)
+        self._move_bias = move_bias
+        self._max_pending_age = max_pending_age
+        self._fairness_bound = fairness_bound
+        self._pending_age: Dict[int, int] = {}
+        self._since_look: Dict[int, int] = {}
+
+    def reset(self) -> None:
+        self._rng = random.Random(self._seed)
+        self._pending_age = {}
+        self._since_look = {}
+
+    def _tick(self, engine: "Simulator") -> None:
+        k = engine.num_robots
+        for r in range(k):
+            self._since_look.setdefault(r, 0)
+        pending = {r for r in range(k) if engine.robot(r).has_pending_move}
+        self._pending_age = {r: self._pending_age.get(r, 0) + 1 for r in pending}
+        for r in range(k):
+            self._since_look[r] += 1
+
+    def next_activation(self, engine: "Simulator") -> Activation:
+        self._tick(engine)
+        k = engine.num_robots
+        pending = [r for r in range(k) if engine.robot(r).has_pending_move]
+        idle = [r for r in range(k) if not engine.robot(r).has_pending_move]
+
+        # Forced releases keep the execution fair.
+        overdue = [r for r in pending if self._pending_age.get(r, 0) >= self._max_pending_age]
+        if overdue:
+            robot = self._rng.choice(overdue)
+            self._pending_age.pop(robot, None)
+            return Activation.move((robot,))
+        starving = [r for r in idle if self._since_look.get(r, 0) >= self._fairness_bound]
+        if starving:
+            robot = self._rng.choice(starving)
+            self._since_look[robot] = 0
+            return Activation.look((robot,))
+
+        if pending and (not idle or self._rng.random() < self._move_bias):
+            robot = self._rng.choice(pending)
+            self._pending_age.pop(robot, None)
+            return Activation.move((robot,))
+        robot = self._rng.choice(idle)
+        self._since_look[robot] = 0
+        return Activation.look((robot,))

@@ -1,0 +1,101 @@
+"""Scheduler interface: the CORDA adversary.
+
+In the CORDA model the *scheduler* (an adversary) decides, at every
+instant, which robots perform which phase of their Look–Compute–Move
+cycle.  The only obligation is fairness: every robot performs complete
+cycles infinitely often.  Correct algorithms must work against every
+scheduler; impossibility proofs construct specific malicious ones.
+
+The library models a scheduler as a policy object producing
+:class:`Activation` records; the :class:`~repro.simulator.engine.Simulator`
+executes them.  Three activation kinds exist:
+
+``CYCLE``
+    the listed robots perform an *atomic* Look–Compute–Move cycle,
+    all looking at the same configuration and then moving simultaneously
+    (this realises the fully- and semi-synchronous models, and the
+    sequential/centralised model when a single robot is listed);
+
+``LOOK``
+    the listed robots perform Look and Compute only, committing to a
+    pending move that may be executed arbitrarily later (this is the key
+    ingredient of full asynchrony: the eventual move is based on an
+    outdated snapshot);
+
+``MOVE``
+    the listed robots execute their pending moves (if any).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from enum import Enum
+from typing import TYPE_CHECKING, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..simulator.engine import Simulator
+
+__all__ = ["ActivationKind", "Activation", "Scheduler"]
+
+
+class ActivationKind(Enum):
+    """The phase(s) an activation triggers."""
+
+    CYCLE = "cycle"
+    LOOK = "look"
+    MOVE = "move"
+
+
+@dataclass(frozen=True)
+class Activation:
+    """One adversary step: which robots do what.
+
+    Attributes:
+        kind: the phase to perform.
+        robots: identifiers of the robots activated together.
+    """
+
+    kind: ActivationKind
+    robots: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.robots:
+            raise ValueError("an activation must involve at least one robot")
+
+    @classmethod
+    def cycle(cls, robots: Sequence[int]) -> "Activation":
+        """Atomic Look-Compute-Move for the given robots."""
+        return cls(ActivationKind.CYCLE, tuple(robots))
+
+    @classmethod
+    def look(cls, robots: Sequence[int]) -> "Activation":
+        """Look + Compute only (the move stays pending)."""
+        return cls(ActivationKind.LOOK, tuple(robots))
+
+    @classmethod
+    def move(cls, robots: Sequence[int]) -> "Activation":
+        """Execute the pending moves of the given robots."""
+        return cls(ActivationKind.MOVE, tuple(robots))
+
+
+class Scheduler(ABC):
+    """Adversarial activation policy.
+
+    Subclasses implement :meth:`next_activation`; they may inspect the
+    engine's public state (robot positions, pending moves, step counter)
+    but must not mutate it.
+    """
+
+    #: Human-readable scheduler name, used in traces and reports.
+    name: str = "scheduler"
+
+    @abstractmethod
+    def next_activation(self, engine: "Simulator") -> Activation:
+        """Return the next activation to execute."""
+
+    def reset(self) -> None:
+        """Reset internal state (called when a simulation starts)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

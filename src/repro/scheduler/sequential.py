@@ -1,0 +1,107 @@
+"""Sequential (centralised) schedulers: one atomic cycle per step.
+
+The paper's constructive algorithms guarantee that at most one robot is
+ever instructed to move from the configurations they maintain, so under
+*any* scheduler their executions coincide with a sequential one.  The
+sequential scheduler is therefore the work-horse for verifying the
+constructive theorems, while the asynchronous scheduler stresses the
+"only one robot is enabled" claim itself.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
+
+from ..core.errors import SchedulerError
+from .base import Activation, Scheduler
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..simulator.engine import Simulator
+
+__all__ = ["SequentialScheduler", "RoundRobinScheduler", "ScriptedScheduler"]
+
+
+class SequentialScheduler(Scheduler):
+    """Activate exactly one robot per step with an atomic cycle.
+
+    Args:
+        policy: ``"round_robin"`` (default), ``"random"``, or a callable
+            ``(engine) -> robot_id`` implementing an arbitrary adversary.
+        seed: seed for the ``"random"`` policy.
+    """
+
+    name = "sequential"
+
+    def __init__(
+        self,
+        policy: str | Callable[["Simulator"], int] = "round_robin",
+        seed: Optional[int] = None,
+    ) -> None:
+        self._policy = policy
+        self._seed = seed
+        self._rng = random.Random(seed)
+        self._next_index = 0
+
+    def reset(self) -> None:
+        self._rng = random.Random(self._seed)
+        self._next_index = 0
+
+    def next_activation(self, engine: "Simulator") -> Activation:
+        k = engine.num_robots
+        if callable(self._policy):
+            robot = self._policy(engine)
+            if not 0 <= robot < k:
+                raise SchedulerError(f"adversary callback returned invalid robot {robot}")
+        elif self._policy == "round_robin":
+            robot = self._next_index % k
+            self._next_index += 1
+        elif self._policy == "random":
+            robot = self._rng.randrange(k)
+        else:
+            raise SchedulerError(f"unknown sequential policy {self._policy!r}")
+        return Activation.cycle((robot,))
+
+
+class RoundRobinScheduler(SequentialScheduler):
+    """Alias for the round-robin sequential scheduler (explicit name)."""
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        super().__init__(policy="round_robin")
+
+
+class ScriptedScheduler(Scheduler):
+    """Replay an explicit list of activations, then optionally repeat.
+
+    Used to reproduce the hand-crafted adversarial schedules from the
+    impossibility proofs (e.g. "alternate the two robots", "schedule the
+    two symmetric robots simultaneously").
+
+    Args:
+        script: the activations to play, in order.
+        repeat: whether to loop over the script forever; when ``False``
+            the scheduler raises :class:`SchedulerError` once exhausted.
+    """
+
+    name = "scripted"
+
+    def __init__(self, script: Sequence[Activation], repeat: bool = True) -> None:
+        if not script:
+            raise SchedulerError("a scripted scheduler needs a non-empty script")
+        self._script = tuple(script)
+        self._repeat = repeat
+        self._cursor = 0
+
+    def reset(self) -> None:
+        self._cursor = 0
+
+    def next_activation(self, engine: "Simulator") -> Activation:
+        if self._cursor >= len(self._script):
+            if not self._repeat:
+                raise SchedulerError("scripted scheduler exhausted its script")
+            self._cursor = 0
+        activation = self._script[self._cursor]
+        self._cursor += 1
+        return activation

@@ -1,0 +1,64 @@
+"""Fully synchronous (FSYNC) and semi-synchronous (SSYNC) schedulers."""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Optional
+
+from ..core.errors import SchedulerError
+from .base import Activation, Scheduler
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..simulator.engine import Simulator
+
+__all__ = ["SynchronousScheduler", "SemiSynchronousScheduler"]
+
+
+class SynchronousScheduler(Scheduler):
+    """FSYNC: every robot performs an atomic cycle at every step."""
+
+    name = "synchronous"
+
+    def next_activation(self, engine: "Simulator") -> Activation:
+        return Activation.cycle(tuple(range(engine.num_robots)))
+
+
+class SemiSynchronousScheduler(Scheduler):
+    """SSYNC: an adversary-chosen non-empty subset performs atomic cycles.
+
+    The default adversary picks a uniformly random non-empty subset using
+    the given seed, but guarantees fairness by forcing any robot that has
+    not been activated for ``fairness_bound`` steps into the next subset.
+
+    Args:
+        seed: RNG seed for subset selection.
+        fairness_bound: maximal number of consecutive steps a robot may
+            be left out (must be positive).
+    """
+
+    name = "semi_synchronous"
+
+    def __init__(self, seed: Optional[int] = None, fairness_bound: int = 20) -> None:
+        if fairness_bound <= 0:
+            raise SchedulerError("fairness_bound must be positive")
+        self._seed = seed
+        self._rng = random.Random(seed)
+        self._fairness_bound = fairness_bound
+        self._starvation: dict[int, int] = {}
+
+    def reset(self) -> None:
+        self._rng = random.Random(self._seed)
+        self._starvation = {}
+
+    def next_activation(self, engine: "Simulator") -> Activation:
+        k = engine.num_robots
+        if not self._starvation:
+            self._starvation = {r: 0 for r in range(k)}
+        chosen = {r for r in range(k) if self._rng.random() < 0.5}
+        # Fairness: force starving robots in; make sure the subset is non-empty.
+        chosen |= {r for r, s in self._starvation.items() if s >= self._fairness_bound}
+        if not chosen:
+            chosen = {self._rng.randrange(k)}
+        for r in range(k):
+            self._starvation[r] = 0 if r in chosen else self._starvation[r] + 1
+        return Activation.cycle(tuple(sorted(chosen)))

@@ -1,0 +1,16 @@
+"""Simulation engine, traces and high-level runners."""
+
+from .engine import Simulator
+from .runner import default_step_budget, run_gathering, run_to_configuration, simulate
+from .trace import MoveRecord, Trace, TraceEvent
+
+__all__ = [
+    "Simulator",
+    "Trace",
+    "TraceEvent",
+    "MoveRecord",
+    "simulate",
+    "run_to_configuration",
+    "run_gathering",
+    "default_step_budget",
+]

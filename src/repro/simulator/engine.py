@@ -1,0 +1,354 @@
+"""The simulation engine.
+
+:class:`Simulator` executes one min-CORDA algorithm on one ring against
+one scheduler, notifying monitors and recording a
+:class:`~repro.simulator.trace.Trace`.  The engine owns all the global
+information (node identities, robot identities, global directions); the
+algorithm only ever receives anonymous
+:class:`~repro.model.snapshot.Snapshot` objects, with the presentation
+order of the two directed views chosen adversarially (seeded), so that an
+algorithm relying on chirality or node labels cannot silently pass the
+test-suite.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..core.configuration import Configuration
+from ..core.errors import (
+    CollisionError,
+    ExclusivityViolationError,
+    InvalidConfigurationError,
+    SchedulerError,
+    SimulationLimitError,
+)
+from ..core.ring import CCW, CW, Ring
+from ..model.algorithm import Algorithm
+from ..model.robot import RobotState
+from ..model.snapshot import Snapshot
+from ..scheduler.base import Activation, ActivationKind, Scheduler
+from ..scheduler.sequential import SequentialScheduler
+from .trace import MoveRecord, Trace, TraceEvent
+
+__all__ = ["Simulator"]
+
+#: Predicate over the engine used as a stop condition.
+StopCondition = Callable[["Simulator"], bool]
+
+
+class Simulator:
+    """Run a min-CORDA algorithm on a ring.
+
+    Args:
+        algorithm: the per-robot algorithm.
+        initial: initial placement, either a
+            :class:`~repro.core.configuration.Configuration` (robot
+            identities are assigned to occupied nodes in increasing node
+            order, with multiplicities expanded) or a sequence of robot
+            positions.
+        ring_size: required when ``initial`` is a position sequence.
+        scheduler: activation policy; defaults to a round-robin
+            sequential scheduler.
+        exclusive: enforce the exclusivity property (at most one robot
+            per node).  Violations raise :class:`CollisionError` unless
+            ``collision_policy`` is ``"record"``.
+        multiplicity_detection: grant the robots local (weak)
+            multiplicity detection — their snapshots then report whether
+            their own node hosts more than one robot.
+        monitors: task monitors to notify after every step.
+        presentation_seed: seed of the adversary choosing in which order
+            the two directed views are presented to each robot.
+        collision_policy: ``"raise"`` (default) or ``"record"``.
+        chirality: when ``True`` the clockwise view is always presented
+            first, effectively granting the robots a common sense of
+            direction.  This is *stronger* than the min-CORDA model and is
+            only used by baselines and illustrative examples.
+    """
+
+    def __init__(
+        self,
+        algorithm: Algorithm,
+        initial: Union[Configuration, Sequence[int]],
+        *,
+        ring_size: Optional[int] = None,
+        scheduler: Optional[Scheduler] = None,
+        exclusive: bool = True,
+        multiplicity_detection: bool = False,
+        monitors: Iterable = (),
+        presentation_seed: Optional[int] = 0,
+        collision_policy: str = "raise",
+        chirality: bool = False,
+    ) -> None:
+        if isinstance(initial, Configuration):
+            configuration = initial
+            positions: List[int] = []
+            for node in configuration.support:
+                positions.extend([node] * configuration.multiplicity(node))
+        else:
+            if ring_size is None:
+                raise InvalidConfigurationError(
+                    "ring_size is required when initial positions are given as a sequence"
+                )
+            positions = [int(p) for p in initial]
+            configuration = Configuration.from_positions(ring_size, positions)
+        if exclusive and not configuration.is_exclusive:
+            raise ExclusivityViolationError(
+                "initial configuration violates the exclusivity property"
+            )
+        if collision_policy not in ("raise", "record"):
+            raise ValueError("collision_policy must be 'raise' or 'record'")
+
+        self._algorithm = algorithm
+        self._ring = Ring(configuration.n)
+        self._robots: List[RobotState] = [
+            RobotState(robot_id=i, position=p) for i, p in enumerate(positions)
+        ]
+        self._scheduler = scheduler if scheduler is not None else SequentialScheduler()
+        self._exclusive = exclusive
+        self._multiplicity_detection = multiplicity_detection
+        self._monitors = list(monitors)
+        self._rng = random.Random(presentation_seed)
+        self._collision_policy = collision_policy
+        self._chirality = chirality
+        self._step_count = 0
+        self._trace = Trace(
+            initial_configuration=configuration,
+            initial_positions=tuple(positions),
+        )
+        self._scheduler.reset()
+        for monitor in self._monitors:
+            monitor.on_start(self)
+
+    # ------------------------------------------------------------------ #
+    # public state
+    # ------------------------------------------------------------------ #
+    @property
+    def algorithm(self) -> Algorithm:
+        """The algorithm under simulation."""
+        return self._algorithm
+
+    @property
+    def scheduler(self) -> Scheduler:
+        """The scheduler driving the simulation."""
+        return self._scheduler
+
+    @property
+    def ring(self) -> Ring:
+        """The underlying ring."""
+        return self._ring
+
+    @property
+    def ring_size(self) -> int:
+        """Number of nodes of the ring."""
+        return self._ring.n
+
+    @property
+    def num_robots(self) -> int:
+        """Number of robots."""
+        return len(self._robots)
+
+    @property
+    def step_count(self) -> int:
+        """Number of scheduler steps executed so far."""
+        return self._step_count
+
+    @property
+    def trace(self) -> Trace:
+        """The trace recorded so far."""
+        return self._trace
+
+    @property
+    def exclusive(self) -> bool:
+        """Whether the exclusivity property is being enforced."""
+        return self._exclusive
+
+    @property
+    def multiplicity_detection(self) -> bool:
+        """Whether robots enjoy local multiplicity detection."""
+        return self._multiplicity_detection
+
+    def robot(self, robot_id: int) -> RobotState:
+        """The runtime state of one robot."""
+        return self._robots[robot_id]
+
+    def robots(self) -> Tuple[RobotState, ...]:
+        """All robot runtime states."""
+        return tuple(self._robots)
+
+    @property
+    def positions(self) -> Tuple[int, ...]:
+        """Current robot positions indexed by robot identifier."""
+        return tuple(robot.position for robot in self._robots)
+
+    @property
+    def configuration(self) -> Configuration:
+        """The current configuration."""
+        return Configuration.from_positions(self._ring.n, self.positions)
+
+    def robots_at(self, node: int) -> Tuple[int, ...]:
+        """Identifiers of the robots currently on ``node``."""
+        return tuple(r.robot_id for r in self._robots if r.position == node)
+
+    def pending_robots(self) -> Tuple[int, ...]:
+        """Identifiers of the robots holding a pending (not yet executed) move."""
+        return tuple(r.robot_id for r in self._robots if r.has_pending_move)
+
+    # ------------------------------------------------------------------ #
+    # phase primitives
+    # ------------------------------------------------------------------ #
+    def _snapshot_for(self, robot_id: int) -> Tuple[Snapshot, int]:
+        """Build the snapshot for a robot; return it with the global direction of ``views[0]``."""
+        robot = self._robots[robot_id]
+        configuration = self.configuration
+        cw_view = configuration.directed_view(robot.position, CW)
+        ccw_view = configuration.directed_view(robot.position, CCW)
+        first_is_cw = True if self._chirality else self._rng.random() < 0.5
+        views = (cw_view, ccw_view) if first_is_cw else (ccw_view, cw_view)
+        on_multiplicity = (
+            self._multiplicity_detection and configuration.multiplicity(robot.position) > 1
+        )
+        snapshot = Snapshot(n=self._ring.n, views=views, on_multiplicity=on_multiplicity)
+        return snapshot, (CW if first_is_cw else CCW)
+
+    def _look_and_compute(self, robot_id: int) -> Optional[int]:
+        """Run Look + Compute for one robot; store and return the pending target."""
+        robot = self._robots[robot_id]
+        snapshot, first_direction = self._snapshot_for(robot_id)
+        decision = self._algorithm.compute(snapshot)
+        robot.looks += 1
+        if decision.is_idle:
+            robot.idles += 1
+            robot.pending_target = None
+            return None
+        direction = first_direction if decision.toward_view == 0 else -first_direction
+        target = (robot.position + direction) % self._ring.n
+        robot.pending_target = target
+        return target
+
+    def _execute_pending(self, robot_ids: Sequence[int]) -> List[MoveRecord]:
+        """Execute the pending moves of the given robots simultaneously."""
+        records: List[MoveRecord] = []
+        for robot_id in robot_ids:
+            robot = self._robots[robot_id]
+            if robot.pending_target is None:
+                continue
+            records.append(
+                MoveRecord(robot_id=robot_id, source=robot.position, target=robot.pending_target)
+            )
+        for record in records:
+            robot = self._robots[record.robot_id]
+            robot.position = record.target
+            robot.moves += 1
+            robot.pending_target = None
+        return records
+
+    # ------------------------------------------------------------------ #
+    # stepping
+    # ------------------------------------------------------------------ #
+    def apply_activation(self, activation: Activation) -> TraceEvent:
+        """Execute one activation and record it on the trace."""
+        for robot_id in activation.robots:
+            if not 0 <= robot_id < self.num_robots:
+                raise SchedulerError(f"activation references unknown robot {robot_id}")
+        if activation.kind is ActivationKind.CYCLE:
+            for robot_id in activation.robots:
+                self._look_and_compute(robot_id)
+            moves = self._execute_pending(activation.robots)
+        elif activation.kind is ActivationKind.LOOK:
+            for robot_id in activation.robots:
+                self._look_and_compute(robot_id)
+            moves = []
+        elif activation.kind is ActivationKind.MOVE:
+            moves = self._execute_pending(activation.robots)
+        else:  # pragma: no cover - exhaustive enum
+            raise SchedulerError(f"unknown activation kind {activation.kind!r}")
+
+        configuration = self.configuration
+        collision = self._exclusive and not configuration.is_exclusive
+        event = TraceEvent(
+            step=self._step_count,
+            kind=activation.kind,
+            robots=activation.robots,
+            moves=tuple(moves),
+            configuration_after=configuration,
+            collision=collision,
+        )
+        self._step_count += 1
+        self._trace.append(event)
+        for monitor in self._monitors:
+            monitor.on_step(self, moves, configuration)
+        if collision and self._collision_policy == "raise":
+            raise CollisionError(
+                f"exclusivity violated at step {event.step}: "
+                f"configuration {configuration.ascii_art()!r}"
+            )
+        return event
+
+    def step(self) -> TraceEvent:
+        """Ask the scheduler for the next activation and execute it."""
+        activation = self._scheduler.next_activation(self)
+        return self.apply_activation(activation)
+
+    def run(self, max_steps: int, stop: Optional[StopCondition] = None) -> Trace:
+        """Run for at most ``max_steps`` steps (optionally stopping early).
+
+        Args:
+            max_steps: step budget.
+            stop: optional predicate over the engine; the run stops after
+                the first step for which it returns ``True``.
+
+        Returns:
+            The accumulated trace (also available via :attr:`trace`).
+        """
+        for _ in range(max_steps):
+            self.step()
+            if stop is not None and stop(self):
+                self._trace.stopped_reason = "stop-condition"
+                return self._trace
+        self._trace.stopped_reason = "max-steps"
+        return self._trace
+
+    def run_until(self, goal: StopCondition, max_steps: int) -> Trace:
+        """Run until ``goal`` holds; raise if the budget is exhausted first.
+
+        Raises:
+            SimulationLimitError: when ``goal`` is still false after
+                ``max_steps`` steps.
+        """
+        if goal(self):
+            self._trace.stopped_reason = "goal-already-satisfied"
+            return self._trace
+        trace = self.run(max_steps, stop=goal)
+        if trace.stopped_reason != "stop-condition":
+            raise SimulationLimitError(
+                f"goal not reached within {max_steps} steps "
+                f"(algorithm={self._algorithm.name}, scheduler={self._scheduler.name})"
+            )
+        trace.stopped_reason = "goal-reached"
+        return trace
+
+    def run_until_stable(self, max_steps: int, quiet_window: Optional[int] = None) -> Trace:
+        """Run until no robot moves or holds a pending move for a full window.
+
+        Args:
+            max_steps: step budget.
+            quiet_window: number of consecutive quiet steps required;
+                defaults to twice the number of robots (enough for every
+                robot to have been activated at least once under any fair
+                scheduler used in the library).
+        """
+        window = quiet_window if quiet_window is not None else 2 * self.num_robots
+        quiet = 0
+        for _ in range(max_steps):
+            event = self.step()
+            if event.moves or self.pending_robots():
+                quiet = 0
+            else:
+                quiet += 1
+                if quiet >= window:
+                    self._trace.stopped_reason = "stable"
+                    return self._trace
+        self._trace.stopped_reason = "max-steps"
+        return self._trace

@@ -1,0 +1,153 @@
+"""Execution traces.
+
+A :class:`Trace` records everything that happened during a simulation:
+the activations played by the scheduler, the decisions computed, the
+moves executed and the configuration after every step.  Traces are the
+raw material for the task monitors, the experiments and the tests that
+machine-check the paper's invariants ("only one robot moves at a time",
+"every intermediate configuration is rigid", ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.configuration import Configuration
+from ..scheduler.base import ActivationKind
+
+__all__ = ["MoveRecord", "TraceEvent", "Trace"]
+
+
+@dataclass(frozen=True)
+class MoveRecord:
+    """One executed robot move."""
+
+    robot_id: int
+    source: int
+    target: int
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """Everything that happened during one scheduler step.
+
+    Attributes:
+        step: step index (0-based).
+        kind: the activation kind that was executed.
+        robots: robots activated during the step.
+        moves: moves actually executed (empty for pure Look steps and for
+            cycles whose robots all decided to stay idle).
+        configuration_after: configuration at the end of the step.
+        collision: whether executing the step violated exclusivity.
+    """
+
+    step: int
+    kind: ActivationKind
+    robots: Tuple[int, ...]
+    moves: Tuple[MoveRecord, ...]
+    configuration_after: Configuration
+    collision: bool = False
+
+
+@dataclass
+class Trace:
+    """Complete record of a simulation run."""
+
+    initial_configuration: Configuration
+    initial_positions: Tuple[int, ...]
+    events: List[TraceEvent] = field(default_factory=list)
+    stopped_reason: Optional[str] = None
+
+    # ------------------------------------------------------------------ #
+    # recording
+    # ------------------------------------------------------------------ #
+    def append(self, event: TraceEvent) -> None:
+        """Record one step."""
+        self.events.append(event)
+
+    # ------------------------------------------------------------------ #
+    # basic queries
+    # ------------------------------------------------------------------ #
+    @property
+    def num_steps(self) -> int:
+        """Number of recorded scheduler steps."""
+        return len(self.events)
+
+    @property
+    def final_configuration(self) -> Configuration:
+        """Configuration after the last step (or the initial one if no steps)."""
+        if not self.events:
+            return self.initial_configuration
+        return self.events[-1].configuration_after
+
+    def configurations(self) -> List[Configuration]:
+        """Configuration sequence including the initial configuration."""
+        return [self.initial_configuration] + [e.configuration_after for e in self.events]
+
+    def all_moves(self) -> List[MoveRecord]:
+        """Every executed move in order."""
+        return [m for e in self.events for m in e.moves]
+
+    @property
+    def total_moves(self) -> int:
+        """Total number of edge traversals."""
+        return sum(len(e.moves) for e in self.events)
+
+    @property
+    def had_collision(self) -> bool:
+        """Whether any step violated exclusivity."""
+        return any(e.collision for e in self.events)
+
+    def moves_per_robot(self) -> Dict[int, int]:
+        """Number of edge traversals of each robot."""
+        counts: Dict[int, int] = {}
+        for move in self.all_moves():
+            counts[move.robot_id] = counts.get(move.robot_id, 0) + 1
+        return counts
+
+    def max_simultaneous_moves(self) -> int:
+        """Largest number of moves executed within a single step."""
+        return max((len(e.moves) for e in self.events), default=0)
+
+    def iter_moves(self) -> Iterator[MoveRecord]:
+        """Iterate over executed moves in order."""
+        for event in self.events:
+            yield from event.moves
+
+    # ------------------------------------------------------------------ #
+    # periodicity detection
+    # ------------------------------------------------------------------ #
+    def configuration_period(self, *, up_to_symmetry: bool = False) -> Optional[Tuple[int, int]]:
+        """Detect a repeated configuration in the trace.
+
+        Returns ``(first, second)`` step indices (into
+        :meth:`configurations`) of the earliest pair of equal
+        configurations, or ``None`` when every configuration is distinct.
+        With ``up_to_symmetry=True`` configurations are compared up to
+        ring rotations and reflections (useful for the perpetual
+        algorithms whose cycles drift around the ring).
+        """
+        seen: Dict[object, int] = {}
+        for index, configuration in enumerate(self.configurations()):
+            key = configuration.canonical_key() if up_to_symmetry else configuration
+            if key in seen:
+                return seen[key], index
+            seen[key] = index
+        return None
+
+    def first_step_where(self, predicate) -> Optional[int]:
+        """Index of the first step whose post-configuration satisfies ``predicate``."""
+        for event in self.events:
+            if predicate(event.configuration_after):
+                return event.step
+        return None
+
+    def summary(self) -> str:
+        """Short human-readable description of the run."""
+        return (
+            f"Trace(steps={self.num_steps}, moves={self.total_moves}, "
+            f"collision={self.had_collision}, "
+            f"final={self.final_configuration.ascii_art()!r}, "
+            f"stopped={self.stopped_reason!r})"
+        )

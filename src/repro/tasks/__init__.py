@@ -1,0 +1,15 @@
+"""Task monitors: graph searching, exploration, gathering."""
+
+from .base import CompositeMonitor, Monitor
+from .exploration import ExplorationMonitor
+from .gathering import GatheringMonitor
+from .searching import SearchingMonitor, SearchState
+
+__all__ = [
+    "Monitor",
+    "CompositeMonitor",
+    "SearchState",
+    "SearchingMonitor",
+    "ExplorationMonitor",
+    "GatheringMonitor",
+]

@@ -1,0 +1,67 @@
+"""Monitor protocol.
+
+Monitors are passive observers attached to a
+:class:`~repro.simulator.engine.Simulator`.  They receive callbacks as
+the simulation unfolds and accumulate task-level state (which edges are
+clear, which nodes each robot has visited, whether the robots have
+gathered).  Monitors never influence the execution — the robots are
+oblivious and cannot access any of this information.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Sequence
+
+from ..core.configuration import Configuration
+from ..simulator.trace import MoveRecord
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..simulator.engine import Simulator
+
+__all__ = ["Monitor", "CompositeMonitor"]
+
+
+class Monitor:
+    """Base class for task monitors (default callbacks do nothing)."""
+
+    def on_start(self, engine: "Simulator") -> None:
+        """Called once before the first step."""
+
+    def on_step(
+        self,
+        engine: "Simulator",
+        moves: Sequence[MoveRecord],
+        configuration: Configuration,
+    ) -> None:
+        """Called after every scheduler step.
+
+        Args:
+            engine: the running simulator.
+            moves: moves executed during the step (possibly empty).
+            configuration: configuration at the end of the step.
+        """
+
+
+class CompositeMonitor(Monitor):
+    """Fan-out monitor delegating every callback to its children."""
+
+    def __init__(self, monitors: Sequence[Monitor]) -> None:
+        self._monitors: List[Monitor] = list(monitors)
+
+    @property
+    def monitors(self) -> List[Monitor]:
+        """The wrapped monitors."""
+        return list(self._monitors)
+
+    def on_start(self, engine: "Simulator") -> None:
+        for monitor in self._monitors:
+            monitor.on_start(engine)
+
+    def on_step(
+        self,
+        engine: "Simulator",
+        moves: Sequence[MoveRecord],
+        configuration: Configuration,
+    ) -> None:
+        for monitor in self._monitors:
+            monitor.on_step(engine, moves, configuration)

@@ -1,0 +1,78 @@
+"""Gathering monitoring.
+
+The gathering task requires all robots to eventually occupy the same node
+and remain there.  The monitor records when the robots first become
+gathered, whether they ever split apart again afterwards, and how many
+multiplicities were created along the way.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+from ..core.configuration import Configuration
+from ..simulator.trace import MoveRecord
+from .base import Monitor
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..simulator.engine import Simulator
+
+__all__ = ["GatheringMonitor"]
+
+
+class GatheringMonitor(Monitor):
+    """Track progress of the gathering task."""
+
+    def __init__(self) -> None:
+        self.gathered_at_step: Optional[int] = None
+        self.broke_apart_after_gathering: bool = False
+        self.occupied_history: List[int] = []
+        self.max_multiplicity_seen: int = 1
+        self._gathered_now = False
+
+    def on_start(self, engine: "Simulator") -> None:
+        self.gathered_at_step = None
+        self.broke_apart_after_gathering = False
+        self.occupied_history = [engine.configuration.num_occupied]
+        self.max_multiplicity_seen = max(engine.configuration.counts)
+        self._gathered_now = engine.configuration.num_occupied == 1
+        if self._gathered_now:
+            self.gathered_at_step = -1
+
+    def on_step(
+        self,
+        engine: "Simulator",
+        moves: Sequence[MoveRecord],
+        configuration: Configuration,
+    ) -> None:
+        step = engine.step_count - 1
+        self.occupied_history.append(configuration.num_occupied)
+        self.max_multiplicity_seen = max(self.max_multiplicity_seen, max(configuration.counts))
+        gathered = configuration.num_occupied == 1
+        if gathered and self.gathered_at_step is None:
+            self.gathered_at_step = step
+        if self._gathered_now and not gathered:
+            self.broke_apart_after_gathering = True
+        self._gathered_now = gathered
+
+    # ------------------------------------------------------------------ #
+    # verification helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def is_gathered(self) -> bool:
+        """Whether the robots are currently all on one node."""
+        return self._gathered_now
+
+    @property
+    def gathering_achieved(self) -> bool:
+        """Whether gathering was reached at some point and never abandoned."""
+        return self.gathered_at_step is not None and not self.broke_apart_after_gathering
+
+    def occupied_nodes_monotone_after(self, step: int) -> bool:
+        """Whether the number of occupied nodes never increased after ``step``.
+
+        The paper's gathering algorithm only merges robots once it enters
+        the contraction phase; this helper checks that behaviour.
+        """
+        history = self.occupied_history[max(step + 1, 0):]
+        return all(b <= a for a, b in zip(history, history[1:]))

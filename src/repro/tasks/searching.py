@@ -1,0 +1,214 @@
+"""Graph searching (edge clearing) on rings.
+
+The paper uses *mixed graph searching*: initially every edge is
+contaminated; an edge becomes clear when a robot traverses it or when
+both of its endpoints are simultaneously occupied; a clear edge is
+instantaneously *recontaminated* whenever there is a robot-free path
+connecting one of its endpoints to an endpoint of a contaminated edge.
+The perpetual exclusive graph searching task requires every edge to be
+cleared infinitely often while the exclusivity property always holds.
+
+:class:`SearchState` implements the clearing/recontamination state
+machine for an arbitrary set of simultaneous moves;
+:class:`SearchingMonitor` attaches it to a simulation and records, for
+every edge, the steps at which it was clear — the raw data used to
+verify perpetual clearing.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from ..core.configuration import Configuration
+from ..core.ring import Edge, Ring
+from ..simulator.trace import MoveRecord
+from .base import Monitor
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..simulator.engine import Simulator
+
+__all__ = ["SearchState", "SearchingMonitor", "advance_clear_edges", "guarded_edges"]
+
+
+def guarded_edges(ring: Ring, configuration: Configuration) -> Set[Edge]:
+    """Edges whose both endpoints are occupied (always clear)."""
+    return {
+        (u, v)
+        for u, v in ring.edges()
+        if configuration.is_occupied(u) and configuration.is_occupied(v)
+    }
+
+
+def advance_clear_edges(
+    ring: Ring,
+    clear: Set[Edge],
+    traversed: Set[Edge],
+    configuration: Configuration,
+) -> FrozenSet[Edge]:
+    """One step of the mixed-search clear/recontaminate dynamics (pure function).
+
+    Args:
+        ring: the ring.
+        clear: edges clear before the step.
+        traversed: edges traversed by robots during the step.
+        configuration: configuration *after* the step.
+
+    Returns:
+        The set of clear edges after clearing by traversal/guarding and
+        instantaneous recontamination along robot-free paths.
+    """
+    updated: Set[Edge] = set(clear) | set(traversed) | guarded_edges(ring, configuration)
+    contaminated = set(ring.edges()) - updated
+    if not contaminated:
+        return frozenset(updated)
+    frontier = {node for e in contaminated for node in e if not configuration.is_occupied(node)}
+    reachable: Set[int] = set()
+    stack = list(frontier)
+    while stack:
+        node = stack.pop()
+        if node in reachable:
+            continue
+        reachable.add(node)
+        for neighbor in ring.neighbors(node):
+            if neighbor not in reachable and not configuration.is_occupied(neighbor):
+                stack.append(neighbor)
+    updated -= {e for e in updated if e[0] in reachable or e[1] in reachable}
+    return frozenset(updated)
+
+
+class SearchState:
+    """Clear/contaminated status of every edge of a ring.
+
+    Args:
+        ring: the ring being searched.
+        configuration: initial robot placement; edges with both endpoints
+            occupied start clear (they are guarded), every other edge
+            starts contaminated.
+    """
+
+    def __init__(self, ring: Ring, configuration: Configuration) -> None:
+        self._ring = ring
+        self._clear: Set[Edge] = set()
+        self._apply_static_clears(configuration)
+        self._apply_recontamination(configuration)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    @property
+    def ring(self) -> Ring:
+        """The underlying ring."""
+        return self._ring
+
+    @property
+    def clear_edges(self) -> FrozenSet[Edge]:
+        """Edges currently clear."""
+        return frozenset(self._clear)
+
+    @property
+    def contaminated_edges(self) -> FrozenSet[Edge]:
+        """Edges currently contaminated."""
+        return frozenset(set(self._ring.edges()) - self._clear)
+
+    @property
+    def all_clear(self) -> bool:
+        """Whether the whole ring is simultaneously clear."""
+        return len(self._clear) == self._ring.n
+
+    def is_clear(self, u: int, v: int) -> bool:
+        """Whether the edge between adjacent nodes ``u`` and ``v`` is clear."""
+        return self._ring.edge_between(u, v) in self._clear
+
+    # ------------------------------------------------------------------ #
+    # dynamics
+    # ------------------------------------------------------------------ #
+    def apply_moves(self, moves: Sequence[MoveRecord], configuration: Configuration) -> None:
+        """Update the state after a set of simultaneous moves.
+
+        Args:
+            moves: the moves executed in this step (their traversed edges
+                become clear).
+            configuration: the configuration *after* the moves.
+        """
+        traversed = {
+            self._ring.edge_between(move.source, move.target)
+            for move in moves
+            if move.source != move.target
+        }
+        self._clear = set(advance_clear_edges(self._ring, self._clear, traversed, configuration))
+
+    def _apply_static_clears(self, configuration: Configuration) -> None:
+        self._clear |= guarded_edges(self._ring, configuration)
+
+    def _apply_recontamination(self, configuration: Configuration) -> None:
+        """Spread contamination through robot-free nodes (fixed point)."""
+        self._clear = set(advance_clear_edges(self._ring, self._clear, set(), configuration))
+
+
+class SearchingMonitor(Monitor):
+    """Record per-edge clearing history during a simulation.
+
+    Attributes collected:
+
+    * :attr:`clear_history` — for every edge, the list of steps at which
+      the edge was clear (step ``-1`` denotes the initial configuration);
+    * :attr:`all_clear_steps` — steps at which the whole ring was
+      simultaneously clear.
+    """
+
+    def __init__(self) -> None:
+        self._state: SearchState | None = None
+        self.clear_history: Dict[Edge, List[int]] = {}
+        self.all_clear_steps: List[int] = []
+        self._step = -1
+
+    @property
+    def state(self) -> SearchState:
+        """The live search state (available once the simulation started)."""
+        if self._state is None:
+            raise RuntimeError("SearchingMonitor used before the simulation started")
+        return self._state
+
+    def on_start(self, engine: "Simulator") -> None:
+        ring = Ring(engine.ring_size)
+        self._state = SearchState(ring, engine.configuration)
+        self.clear_history = {e: [] for e in ring.edges()}
+        self.all_clear_steps = []
+        self._step = -1
+        self._record()
+
+    def on_step(
+        self,
+        engine: "Simulator",
+        moves: Sequence[MoveRecord],
+        configuration: Configuration,
+    ) -> None:
+        self._step = engine.step_count - 1
+        self.state.apply_moves(moves, configuration)
+        self._record()
+
+    def _record(self) -> None:
+        clear = self.state.clear_edges
+        for e in clear:
+            self.clear_history[e].append(self._step)
+        if self.state.all_clear:
+            self.all_clear_steps.append(self._step)
+
+    # ------------------------------------------------------------------ #
+    # verification helpers
+    # ------------------------------------------------------------------ #
+    def clearing_counts(self) -> Dict[Edge, int]:
+        """Number of steps at which each edge was observed clear."""
+        return {e: len(steps) for e, steps in self.clear_history.items()}
+
+    def edges_never_cleared(self) -> Tuple[Edge, ...]:
+        """Edges that were never clear during the run."""
+        return tuple(e for e, steps in self.clear_history.items() if not steps)
+
+    def every_edge_cleared(self, minimum: int = 1) -> bool:
+        """Whether every edge was clear during at least ``minimum`` steps."""
+        return all(len(steps) >= minimum for steps in self.clear_history.values())
+
+    def last_clear_step(self) -> Dict[Edge, int]:
+        """Most recent step at which each edge was clear (``-2`` if never)."""
+        return {e: (steps[-1] if steps else -2) for e, steps in self.clear_history.items()}

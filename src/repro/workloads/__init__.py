@@ -1,0 +1,21 @@
+"""Workload generators and named experiment suites."""
+
+from .generators import (
+    extremal_configurations,
+    random_exclusive_configuration,
+    random_rigid_configuration,
+    rigid_configurations,
+    sample_rigid_configurations,
+)
+from .suites import SUITES, Suite, get_suite
+
+__all__ = [
+    "random_exclusive_configuration",
+    "random_rigid_configuration",
+    "rigid_configurations",
+    "sample_rigid_configurations",
+    "extremal_configurations",
+    "Suite",
+    "SUITES",
+    "get_suite",
+]

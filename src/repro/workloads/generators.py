@@ -1,0 +1,89 @@
+"""Workload generators: initial configurations for experiments and tests.
+
+All generators are deterministic given their seed, so experiments are
+reproducible run-to-run.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional
+
+from ..core.configuration import Configuration
+from ..core.errors import InvalidConfigurationError, UnsupportedParametersError
+from ..analysis.enumeration import enumerate_configurations
+
+__all__ = [
+    "random_exclusive_configuration",
+    "random_rigid_configuration",
+    "rigid_configurations",
+    "sample_rigid_configurations",
+    "extremal_configurations",
+]
+
+
+def random_exclusive_configuration(n: int, k: int, rng: random.Random) -> Configuration:
+    """A uniformly random exclusive configuration of ``k`` robots on ``n`` nodes."""
+    if not 1 <= k <= n:
+        raise InvalidConfigurationError(f"k must satisfy 1 <= k <= n, got k={k}, n={n}")
+    return Configuration.from_occupied(n, rng.sample(range(n), k))
+
+
+def random_rigid_configuration(
+    n: int, k: int, rng: random.Random, max_attempts: int = 10000
+) -> Configuration:
+    """A uniformly random *rigid* exclusive configuration.
+
+    Raises:
+        UnsupportedParametersError: when no rigid configuration exists for
+            ``(k, n)`` (e.g. ``k >= n - 2``) or none was found within the
+            attempt budget.
+    """
+    if k >= n - 2 or k < 3:
+        # The paper observes that no rigid configuration exists for
+        # k >= n - 2; k <= 2 configurations are always symmetric as well.
+        raise UnsupportedParametersError(
+            f"no rigid configuration exists for k={k}, n={n} (need 3 <= k < n - 2)"
+        )
+    for _ in range(max_attempts):
+        configuration = random_exclusive_configuration(n, k, rng)
+        if configuration.is_rigid:
+            return configuration
+    raise UnsupportedParametersError(  # pragma: no cover - astronomically unlikely
+        f"could not sample a rigid configuration for k={k}, n={n}"
+    )
+
+
+def rigid_configurations(n: int, k: int) -> List[Configuration]:
+    """All rigid configuration classes for ``(k, n)`` (exhaustive, small instances)."""
+    return enumerate_configurations(n, k, rigid_only=True)
+
+
+def sample_rigid_configurations(
+    n: int, k: int, count: int, seed: Optional[int] = 0
+) -> List[Configuration]:
+    """``count`` random rigid configurations (with replacement across classes)."""
+    rng = random.Random(seed)
+    return [random_rigid_configuration(n, k, rng) for _ in range(count)]
+
+
+def extremal_configurations(n: int, k: int) -> Iterator[Configuration]:
+    """Hand-picked corner-case configurations for ``(k, n)``.
+
+    Yields (when they exist and are rigid): the configuration ``C*``
+    itself, the most spread-out rigid configuration found, the most
+    compact rigid configuration found, and — for ``(k, n) = (4, 8)`` —
+    the problematic configuration ``Cs`` of Theorem 1.
+    """
+    if 2 <= k < n - 2:
+        c_star = Configuration.from_gaps((0,) * (k - 2) + (1, n - k - 1))
+        yield c_star
+    if (k, n) == (4, 8):
+        yield Configuration.from_gaps((0, 1, 1, 2))  # Cs
+    rigid = rigid_configurations(n, k)
+    if rigid:
+        most_compact = min(rigid, key=lambda c: max(c.gaps()))
+        most_spread = max(rigid, key=lambda c: min(c.gaps()))
+        yield most_compact
+        if most_spread != most_compact:
+            yield most_spread

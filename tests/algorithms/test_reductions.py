@@ -1,0 +1,142 @@
+"""Unit and property tests for the reduction rules of Align."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.algorithms import reductions
+from repro.core import views as view_utils
+
+
+@st.composite
+def supermin_views(draw, min_k=3, max_k=9, max_gap=5):
+    """Random interval sequences normalised to be supermin views."""
+    k = draw(st.integers(min_value=min_k, max_value=max_k))
+    gaps = draw(st.lists(st.integers(min_value=0, max_value=max_gap), min_size=k, max_size=k))
+    # At least one positive gap so the configuration is not fully occupied.
+    if sum(gaps) == 0:
+        gaps[-1] = draw(st.integers(min_value=1, max_value=max_gap))
+    return view_utils.supermin_view(tuple(gaps))
+
+
+class TestPositiveIndices:
+    def test_first_positive(self):
+        assert reductions.first_positive_index((0, 0, 2, 1)) == 2
+
+    def test_second_positive(self):
+        assert reductions.second_positive_index((0, 0, 2, 1)) == 3
+
+    def test_first_positive_requires_positive(self):
+        with pytest.raises(ValueError):
+            reductions.first_positive_index((0, 0, 0))
+
+    def test_second_positive_requires_two(self):
+        with pytest.raises(ValueError):
+            reductions.second_positive_index((0, 0, 5))
+
+
+class TestIndividualRules:
+    def test_reduction0(self):
+        assert reductions.reduction0((2, 0, 1, 3)) == (1, 0, 1, 4)
+
+    def test_reduction0_requires_positive_q0(self):
+        with pytest.raises(ValueError):
+            reductions.reduction0((0, 1, 3))
+
+    def test_reduction1(self):
+        assert reductions.reduction1((0, 0, 2, 4)) == (0, 0, 1, 5)
+
+    def test_reduction1_on_paper_example(self):
+        # From Cs = (0,1,1,2), reduction1 gives (0,0,2,2) (paper, Section 3.1).
+        assert reductions.reduction1((0, 1, 1, 2)) == (0, 0, 2, 2)
+        # And from (0,0,2,2) it gives (0,0,1,3) = C* for k=4, n=8.
+        assert reductions.reduction1((0, 0, 2, 2)) == (0, 0, 1, 3)
+
+    def test_reduction2(self):
+        assert reductions.reduction2((0, 1, 0, 2, 3)) == (0, 1, 0, 1, 4)
+
+    def test_reduction2_wraps_cyclically(self):
+        # Second positive interval is the last one: its successor is q0.
+        assert reductions.reduction2((0, 1, 2)) == (1, 1, 1)
+
+    def test_reduction_minus1(self):
+        assert reductions.reduction_minus1((0, 1, 1, 2)) == (0, 1, 2, 1)
+
+    def test_reduction_minus1_requires_positive_last(self):
+        with pytest.raises(ValueError):
+            reductions.reduction_minus1((1, 2, 0))
+
+    def test_validation_rejects_short_views(self):
+        with pytest.raises(ValueError):
+            reductions.reduction0((3,))
+
+    def test_validation_rejects_negative(self):
+        with pytest.raises(ValueError):
+            reductions.reduction1((0, -1, 2))
+
+
+class TestApplyAndMover:
+    def test_apply_dispatch(self):
+        view = (0, 0, 1, 3)
+        assert reductions.apply_reduction(view, reductions.REDUCTION_1) == reductions.reduction1(view)
+        assert reductions.apply_reduction((1, 0, 1, 2), reductions.REDUCTION_0) == (0, 0, 1, 3)
+        assert reductions.apply_reduction(view, reductions.REDUCTION_MINUS_1) == (0, 0, 2, 2)
+
+    def test_apply_unknown_rule(self):
+        with pytest.raises(ValueError):
+            reductions.apply_reduction((0, 1, 2), "reduction42")
+
+    def test_mover_indices(self):
+        view = (0, 0, 1, 3)
+        assert reductions.mover_index(view, reductions.REDUCTION_0) == (0, +1)
+        assert reductions.mover_index(view, reductions.REDUCTION_1) == (3, -1)
+        assert reductions.mover_index(view, reductions.REDUCTION_MINUS_1) == (3, +1)
+        assert reductions.mover_index((0, 1, 0, 2), reductions.REDUCTION_2) == (0, -1)
+
+    def test_mover_unknown_rule(self):
+        with pytest.raises(ValueError):
+            reductions.mover_index((0, 1, 2), "nope")
+
+
+class TestProperties:
+    @given(supermin_views())
+    def test_reductions_preserve_total_emptiness(self, view):
+        """Every rule moves one robot: the number of empty nodes is conserved."""
+        for rule in (
+            reductions.REDUCTION_0,
+            reductions.REDUCTION_1,
+            reductions.REDUCTION_2,
+            reductions.REDUCTION_MINUS_1,
+        ):
+            try:
+                new = reductions.apply_reduction(view, rule)
+            except ValueError:
+                continue
+            assert sum(new) == sum(view)
+            assert len(new) == len(view)
+
+    @given(supermin_views())
+    def test_reduction0_and_1_and_2_do_not_increase_view(self, view):
+        """Lexicographic decrease of the described sequence (paper, Theorem 1)."""
+        if view[0] > 0:
+            assert reductions.reduction0(view) < view
+        else:
+            if reductions.first_positive_index(view) != len(view) - 1:
+                assert reductions.reduction1(view) < view
+            try:
+                new2 = reductions.reduction2(view)
+            except ValueError:
+                return
+            if reductions.second_positive_index(view) != len(view) - 1:
+                assert new2 < view
+
+    @given(supermin_views())
+    def test_mover_is_consistent_with_rule(self, view):
+        for rule in (reductions.REDUCTION_0, reductions.REDUCTION_1, reductions.REDUCTION_MINUS_1):
+            try:
+                reductions.apply_reduction(view, rule)
+            except ValueError:
+                continue
+            index, direction = reductions.mover_index(view, rule)
+            assert 0 <= index < len(view)
+            assert direction in (-1, +1)

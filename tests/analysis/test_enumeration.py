@@ -1,0 +1,83 @@
+"""Tests for configuration enumeration and the symmetry census (E1 core)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.enumeration import (
+    PAPER_FIGURE_COUNTS,
+    census,
+    count_configurations,
+    enumerate_configurations,
+)
+from repro.core.configuration import Configuration
+from repro.core.errors import InvalidConfigurationError
+
+
+class TestEnumeration:
+    def test_representatives_are_distinct_classes(self):
+        reps = enumerate_configurations(9, 4)
+        keys = [c.canonical_gaps() for c in reps]
+        assert len(keys) == len(set(keys))
+
+    def test_every_configuration_has_a_representative(self):
+        reps = {c.canonical_gaps() for c in enumerate_configurations(7, 3)}
+        import itertools
+
+        for occupied in itertools.combinations(range(7), 3):
+            cfg = Configuration.from_occupied(7, occupied)
+            assert cfg.canonical_gaps() in reps
+
+    def test_rigid_only_filter(self):
+        reps = enumerate_configurations(9, 4, rigid_only=True)
+        assert reps
+        assert all(c.is_rigid for c in reps)
+
+    def test_single_robot_single_class(self):
+        assert count_configurations(8, 1) == 1
+
+    def test_full_ring_single_class(self):
+        assert count_configurations(8, 8) == 1
+
+    def test_two_robots_classes_are_distances(self):
+        # Classes of 2 robots on n nodes = floor(n/2) (one per distance).
+        assert count_configurations(8, 2) == 4
+        assert count_configurations(9, 2) == 4
+
+    def test_validation(self):
+        with pytest.raises(InvalidConfigurationError):
+            enumerate_configurations(2, 1)
+        with pytest.raises(InvalidConfigurationError):
+            enumerate_configurations(6, 0)
+        with pytest.raises(InvalidConfigurationError):
+            enumerate_configurations(6, 7)
+
+    @given(st.integers(min_value=3, max_value=11), st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_complement_symmetry(self, n, data):
+        """Necklaces with k beads equal necklaces with n - k beads."""
+        k = data.draw(st.integers(min_value=1, max_value=n - 1))
+        assert count_configurations(n, k) == count_configurations(n, n - k)
+
+
+class TestPaperCensus:
+    @pytest.mark.parametrize("k,n", sorted(PAPER_FIGURE_COUNTS))
+    def test_counts_match_figures(self, k, n):
+        figure, expected = PAPER_FIGURE_COUNTS[(k, n)]
+        assert census(n, k).total == expected, figure
+
+    def test_census_partitions_total(self):
+        c = census(9, 4)
+        assert c.total == c.rigid + c.symmetric_aperiodic + c.periodic
+
+    def test_census_row(self):
+        c = census(7, 4)
+        assert c.as_row() == (4, 7, 4, 1, 3, 0)
+
+    def test_rigid_counts_for_figures(self):
+        """Rigid counts used by the constructive theorems' exhaustive checks."""
+        assert census(7, 4).rigid == 1
+        assert census(8, 4).rigid == 2
+        assert census(8, 5).rigid == 2

@@ -1,0 +1,100 @@
+"""Tests for the (k, n) feasibility characterization (Theorems 2-8)."""
+
+import pytest
+
+from repro.analysis.feasibility import (
+    Feasibility,
+    exploration_feasibility,
+    feasibility_table,
+    gathering_feasibility,
+    searching_feasibility,
+)
+from repro.core.errors import InvalidConfigurationError
+
+
+class TestSearchingCharacterization:
+    @pytest.mark.parametrize("n", range(3, 10))
+    def test_small_rings_infeasible(self, n):
+        for k in range(1, n):
+            assert searching_feasibility(n, k).verdict is Feasibility.INFEASIBLE
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_few_robots_infeasible(self, k):
+        for n in (10, 15, 30):
+            assert searching_feasibility(n, k).verdict is Feasibility.INFEASIBLE
+
+    @pytest.mark.parametrize("n", [10, 14, 25])
+    def test_nearly_full_rings_infeasible(self, n):
+        assert searching_feasibility(n, n - 1).verdict is Feasibility.INFEASIBLE
+        assert searching_feasibility(n, n - 2).verdict is Feasibility.INFEASIBLE
+
+    def test_full_ring_trivially_feasible(self):
+        assert searching_feasibility(7, 7).verdict is Feasibility.FEASIBLE
+
+    def test_constructive_range_feasible(self):
+        assert searching_feasibility(11, 6).verdict is Feasibility.FEASIBLE
+        assert searching_feasibility(12, 9).verdict is Feasibility.FEASIBLE  # k = n - 3
+        assert "Theorem 7" in searching_feasibility(12, 9).reference
+        assert "Theorem 6" in searching_feasibility(12, 7).reference
+
+    def test_open_cases(self):
+        assert searching_feasibility(10, 5).verdict is Feasibility.OPEN
+        assert searching_feasibility(12, 4).verdict is Feasibility.OPEN
+        # (4, 9) is NOT open: it is covered by the n <= 9 impossibility.
+        assert searching_feasibility(9, 4).verdict is Feasibility.INFEASIBLE
+
+    def test_characterization_is_total_above_9(self):
+        """Every cell with n >= 10 is classified, and only the stated cells are open."""
+        for n in range(10, 25):
+            for k in range(1, n + 1):
+                verdict = searching_feasibility(n, k)
+                if verdict.verdict is Feasibility.OPEN:
+                    assert k == 4 or (k == 5 and n == 10)
+
+    def test_validation(self):
+        with pytest.raises(InvalidConfigurationError):
+            searching_feasibility(2, 1)
+        with pytest.raises(InvalidConfigurationError):
+            searching_feasibility(10, 0)
+        with pytest.raises(InvalidConfigurationError):
+            searching_feasibility(10, 11)
+
+
+class TestExplorationAndGathering:
+    def test_exploration_constructive_range(self):
+        assert exploration_feasibility(12, 7).verdict is Feasibility.FEASIBLE
+        assert exploration_feasibility(12, 9).verdict is Feasibility.FEASIBLE
+
+    def test_exploration_degenerate_cases(self):
+        assert exploration_feasibility(8, 8).verdict is Feasibility.INFEASIBLE
+        assert exploration_feasibility(8, 7).verdict is Feasibility.INFEASIBLE
+
+    def test_exploration_open_elsewhere(self):
+        assert exploration_feasibility(12, 3).verdict is Feasibility.OPEN
+
+    def test_gathering_theorem8_range(self):
+        assert gathering_feasibility(10, 5).verdict is Feasibility.FEASIBLE
+        assert gathering_feasibility(10, 7).verdict is Feasibility.FEASIBLE
+
+    def test_gathering_boundaries(self):
+        assert gathering_feasibility(10, 2).verdict is Feasibility.INFEASIBLE
+        assert gathering_feasibility(10, 8).verdict is Feasibility.UNDEFINED
+        assert gathering_feasibility(10, 1).verdict is Feasibility.FEASIBLE
+
+
+class TestTable:
+    def test_table_covers_grid(self):
+        rows = feasibility_table("searching", 12)
+        assert len(rows) == sum(n for n in range(3, 13))
+
+    def test_table_k_filter(self):
+        rows = feasibility_table("searching", 12, min_n=10, ks=(5, 6))
+        assert {cell.k for cell in rows} <= {5, 6}
+
+    def test_table_unknown_task(self):
+        with pytest.raises(ValueError):
+            feasibility_table("painting", 10)
+
+    def test_cell_as_row(self):
+        cell = searching_feasibility(11, 6)
+        assert cell.as_row() == (6, 11, "feasible", cell.reference)

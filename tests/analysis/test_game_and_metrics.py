@@ -1,0 +1,122 @@
+"""Tests for the adversary game solver and the metrics helpers."""
+
+import pytest
+
+from repro.algorithms.align import AlignAlgorithm
+from repro.algorithms.ring_clearing import RingClearingAlgorithm
+from repro.analysis.game import (
+    GameVerdict,
+    Option,
+    SearchGameSolver,
+    searching_game_verdict,
+)
+from repro.analysis.metrics import clearing_metrics, convergence_metrics, summarize
+from repro.core.configuration import Configuration
+from repro.core.errors import UnsupportedParametersError
+from repro.simulator.engine import Simulator
+from repro.tasks import ExplorationMonitor, SearchingMonitor
+from repro.workloads.generators import rigid_configurations
+
+
+class TestGameSolverSetup:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(UnsupportedParametersError):
+            SearchGameSolver(6, 6)
+        with pytest.raises(UnsupportedParametersError):
+            SearchGameSolver(6, 0)
+
+    def test_rejects_too_many_classes(self):
+        with pytest.raises(UnsupportedParametersError):
+            SearchGameSolver(12, 6, max_classes=4)
+
+    def test_observation_classes_and_candidates(self):
+        solver = SearchGameSolver(5, 2)
+        assert len(solver.observation_classes) == 2  # distances 1 and 2
+        assert solver.candidate_count() == 9
+
+    def test_observation_class_is_unordered(self):
+        cfg = Configuration.from_occupied(6, [0, 2])
+        first, second = SearchGameSolver.observation_class(cfg, 0)
+        assert first <= second
+
+
+class TestGameSolverVerdicts:
+    """Computational counterparts of Theorems 2, 3 and the small cases of Theorem 5."""
+
+    @pytest.mark.parametrize("n,k", [(4, 1), (5, 1), (6, 1)])
+    def test_single_robot_impossible(self, n, k):
+        assert searching_game_verdict(n, k).verdict is GameVerdict.IMPOSSIBLE
+
+    @pytest.mark.parametrize("n,k", [(5, 2), (6, 2), (7, 2)])
+    def test_two_robots_impossible(self, n, k):
+        assert searching_game_verdict(n, k).verdict is GameVerdict.IMPOSSIBLE
+
+    def test_three_robots_small_ring_impossible(self):
+        assert searching_game_verdict(5, 3).verdict is GameVerdict.IMPOSSIBLE
+
+    def test_result_counts_candidates(self):
+        result = searching_game_verdict(5, 2)
+        assert result.algorithms_checked == 9
+        assert result.witness is None
+
+    def test_specific_candidate_is_defeated(self):
+        """The 'always move towards the other robot's far side' candidate loses."""
+        solver = SearchGameSolver(6, 2)
+        assignment = {cls: Option.TOWARD_MAX for cls in solver.observation_classes}
+        start = Configuration.from_occupied(6, [0, 1])
+        assert solver._adversary_wins(start, assignment)
+
+    def test_idle_candidate_is_defeated(self):
+        solver = SearchGameSolver(6, 2)
+        assignment = {cls: Option.IDLE for cls in solver.observation_classes}
+        start = Configuration.from_occupied(6, [0, 1])
+        assert solver._adversary_wins(start, assignment)
+
+
+class TestMetrics:
+    def test_summarize_empty(self):
+        assert summarize([]) == {"mean": 0.0, "min": 0.0, "max": 0.0, "stdev": 0.0}
+
+    def test_summarize_values(self):
+        stats = summarize([2, 4, 6])
+        assert stats["mean"] == 4
+        assert stats["min"] == 2
+        assert stats["max"] == 6
+
+    def test_convergence_metrics_from_align_run(self):
+        cfg = rigid_configurations(11, 5)[0]
+        engine = Simulator(AlignAlgorithm(), cfg)
+        trace = engine.run_until(lambda sim: sim.configuration.is_c_star(), 2000)
+        metrics = convergence_metrics(trace)
+        assert metrics.reached
+        assert metrics.moves == trace.total_moves
+        assert sum(metrics.moves_per_robot.values()) == metrics.moves
+
+    def test_convergence_metrics_with_goal_predicate(self):
+        cfg = rigid_configurations(11, 5)[0]
+        engine = Simulator(AlignAlgorithm(), cfg)
+        engine.run(300)
+        metrics = convergence_metrics(engine.trace, goal=lambda c: c.is_c_star())
+        assert metrics.reached
+        assert metrics.moves <= engine.trace.total_moves
+
+    def test_convergence_metrics_goal_not_reached(self):
+        cfg = rigid_configurations(11, 5)[0]
+        engine = Simulator(AlignAlgorithm(), cfg)
+        engine.run(3)
+        metrics = convergence_metrics(engine.trace, goal=lambda c: c.num_occupied == 1)
+        assert not metrics.reached
+
+    def test_clearing_metrics(self):
+        cfg = rigid_configurations(12, 6)[0]
+        searching = SearchingMonitor()
+        exploration = ExplorationMonitor()
+        engine = Simulator(RingClearingAlgorithm(), cfg, monitors=[searching, exploration])
+        engine.run(2500)
+        metrics = clearing_metrics(searching, exploration, engine.trace)
+        assert metrics.min_clearings > 0
+        assert metrics.mean_clearings >= metrics.min_clearings
+        assert metrics.all_clear_count >= 2
+        assert metrics.moves_to_full_clear is not None and metrics.moves_to_full_clear > 0
+        assert metrics.cover_time >= 0
+        assert metrics.min_visits >= 1

@@ -1,0 +1,330 @@
+"""Unit and property tests for :mod:`repro.core.configuration`."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.configuration import Configuration
+from repro.core.errors import (
+    ExclusivityViolationError,
+    InvalidConfigurationError,
+    NotOccupiedError,
+)
+from repro.core.ring import CCW, CW
+from repro.core.symmetry import (
+    is_periodic_support,
+    is_rigid_support,
+    is_symmetric_support,
+)
+
+
+@st.composite
+def exclusive_configurations(draw, min_n=3, max_n=14):
+    """Random exclusive configurations with 1 <= k <= n robots."""
+    n = draw(st.integers(min_value=min_n, max_value=max_n))
+    k = draw(st.integers(min_value=1, max_value=n))
+    occupied = draw(
+        st.lists(st.integers(min_value=0, max_value=n - 1), min_size=k, max_size=k, unique=True)
+    )
+    return Configuration.from_occupied(n, occupied)
+
+
+class TestConstruction:
+    def test_from_occupied(self):
+        cfg = Configuration.from_occupied(6, [0, 2, 3])
+        assert cfg.n == 6
+        assert cfg.k == 3
+        assert cfg.support == (0, 2, 3)
+        assert cfg.is_exclusive
+
+    def test_from_occupied_rejects_duplicates(self):
+        with pytest.raises(ExclusivityViolationError):
+            Configuration.from_occupied(6, [0, 0, 3])
+
+    def test_from_occupied_rejects_out_of_range(self):
+        with pytest.raises(InvalidConfigurationError):
+            Configuration.from_occupied(6, [0, 6])
+
+    def test_from_positions_multiplicities(self):
+        cfg = Configuration.from_positions(5, [1, 1, 3])
+        assert cfg.k == 3
+        assert cfg.num_occupied == 2
+        assert cfg.multiplicity(1) == 2
+        assert cfg.has_multiplicity(1)
+        assert not cfg.has_multiplicity(3)
+        assert not cfg.is_exclusive
+
+    def test_requires_at_least_one_robot(self):
+        with pytest.raises(InvalidConfigurationError):
+            Configuration([0, 0, 0, 0])
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(InvalidConfigurationError):
+            Configuration([1, -1, 0])
+
+    def test_rejects_tiny_ring(self):
+        with pytest.raises(InvalidConfigurationError):
+            Configuration([1, 1])
+
+    def test_from_gaps_roundtrip(self):
+        cfg = Configuration.from_gaps((0, 1, 3), anchor=2)
+        assert cfg.n == 7
+        assert cfg.support == (2, 3, 5)
+        assert sorted(cfg.gaps()) == [0, 1, 3]
+
+    def test_from_gaps_rejects_negative(self):
+        with pytest.raises(InvalidConfigurationError):
+            Configuration.from_gaps((1, -1, 2))
+
+    @given(exclusive_configurations())
+    def test_gap_roundtrip_property(self, cfg):
+        rebuilt = Configuration.from_gaps(cfg.gaps(), anchor=cfg.support[0])
+        assert rebuilt == cfg
+
+
+class TestStructure:
+    def test_gap_cycle_values(self):
+        cfg = Configuration.from_occupied(10, [0, 1, 4, 8])
+        gaps, nodes = cfg.gap_cycle()
+        assert nodes == (0, 1, 4, 8)
+        assert gaps == (0, 2, 3, 1)
+        assert sum(gaps) + len(gaps) == 10
+
+    def test_single_robot_gap(self):
+        cfg = Configuration.from_occupied(7, [3])
+        assert cfg.gaps() == (6,)
+
+    def test_occupied_order_directions(self):
+        cfg = Configuration.from_occupied(8, [1, 2, 5])
+        assert cfg.occupied_order(1, CW) == (1, 2, 5)
+        assert cfg.occupied_order(1, CCW) == (1, 5, 2)
+
+    def test_occupied_order_requires_occupied_start(self):
+        cfg = Configuration.from_occupied(8, [1, 2, 5])
+        with pytest.raises(NotOccupiedError):
+            cfg.occupied_order(0, CW)
+
+    def test_blocks(self):
+        cfg = Configuration.from_occupied(10, [0, 1, 2, 5, 6, 9])
+        blocks = cfg.blocks()
+        block_sets = sorted(tuple(b) for b in blocks)
+        assert block_sets == [(5, 6), (9, 0, 1, 2)]
+
+    def test_blocks_full_ring(self):
+        cfg = Configuration.from_occupied(5, [0, 1, 2, 3, 4])
+        assert [tuple(b) for b in cfg.blocks()] == [(0, 1, 2, 3, 4)]
+
+    def test_intervals(self):
+        cfg = Configuration.from_occupied(8, [0, 1, 4])
+        intervals = {(iv.before, iv.after): iv.length for iv in cfg.intervals()}
+        assert intervals == {(0, 1): 0, (1, 4): 2, (4, 0): 3}
+
+    def test_interval_nodes(self):
+        cfg = Configuration.from_occupied(8, [0, 1, 4])
+        for iv in cfg.intervals():
+            if (iv.before, iv.after) == (1, 4):
+                assert tuple(iv) == (2, 3)
+
+    def test_empty_nodes(self):
+        cfg = Configuration.from_occupied(6, [0, 3])
+        assert cfg.empty_nodes() == (1, 2, 4, 5)
+
+    @given(exclusive_configurations())
+    def test_blocks_and_intervals_partition_ring(self, cfg):
+        block_nodes = [node for block in cfg.blocks() for node in block]
+        interval_nodes = [node for iv in cfg.intervals() for node in iv]
+        assert sorted(block_nodes) == list(cfg.support)
+        assert sorted(interval_nodes) == list(cfg.empty_nodes())
+
+
+class TestViews:
+    def test_directed_views_of_known_configuration(self):
+        # C* with k=4, n=9: occupied 0,1,2 then empty, then 4, rest empty.
+        cfg = Configuration.from_occupied(9, [0, 1, 2, 4])
+        assert cfg.directed_view(0, CW) == (0, 0, 1, 4)
+        assert cfg.directed_view(0, CCW) == (4, 1, 0, 0)
+        assert cfg.min_view(0) == (0, 0, 1, 4)
+
+    def test_view_requires_occupied_node(self):
+        cfg = Configuration.from_occupied(9, [0, 1, 2, 4])
+        with pytest.raises(NotOccupiedError):
+            cfg.directed_view(3, CW)
+
+    def test_supermin_view(self):
+        cfg = Configuration.from_occupied(9, [0, 1, 2, 4])
+        assert cfg.supermin_view() == (0, 0, 1, 4)
+
+    def test_supermin_anchor_is_unique_for_rigid(self):
+        cfg = Configuration.from_occupied(9, [0, 1, 2, 4])
+        anchors = cfg.supermin_anchors()
+        assert anchors == [(0, CW)]
+
+    @given(exclusive_configurations())
+    def test_supermin_is_min_over_node_views(self, cfg):
+        target = cfg.supermin_view()
+        best = min(min(cfg.views_of(node)) for node in cfg.support)
+        assert target == best
+
+    @given(exclusive_configurations())
+    def test_views_sum_to_empty_nodes(self, cfg):
+        for node in cfg.support:
+            for view in cfg.views_of(node):
+                assert sum(view) == cfg.n - cfg.num_occupied
+                assert len(view) == cfg.num_occupied
+
+
+class TestSymmetryDetection:
+    def test_rigid_example(self):
+        cfg = Configuration.from_occupied(9, [0, 1, 2, 4])
+        assert cfg.is_rigid
+        assert not cfg.is_symmetric
+        assert not cfg.is_periodic
+
+    def test_symmetric_example(self):
+        cfg = Configuration.from_occupied(8, [0, 2, 5, 7])
+        assert cfg.is_symmetric
+
+    def test_periodic_example(self):
+        cfg = Configuration.from_occupied(8, [0, 2, 4, 6])
+        assert cfg.is_periodic
+        assert cfg.is_symmetric
+        assert not cfg.is_rigid
+
+    def test_cs_configuration_is_rigid(self):
+        # Cs has supermin view (0,1,1,2): k=4, n=8.
+        cfg = Configuration.from_gaps((0, 1, 1, 2))
+        assert cfg.supermin_view() == (0, 1, 1, 2)
+        assert cfg.is_rigid
+
+    @given(exclusive_configurations())
+    def test_view_based_matches_bruteforce(self, cfg):
+        assert cfg.is_periodic == is_periodic_support(cfg.support, cfg.n)
+        assert cfg.is_symmetric == is_symmetric_support(cfg.support, cfg.n)
+        assert cfg.is_rigid == is_rigid_support(cfg.support, cfg.n)
+
+    @given(exclusive_configurations())
+    def test_lemma_1_supermin_interval_counts(self, cfg):
+        """Lemma 1 of the paper, machine-checked on random configurations."""
+        count = cfg.supermin_interval_count()
+        if count == 1:
+            axes = cfg.symmetry_axes()
+            assert cfg.is_rigid or (not cfg.is_periodic and len(axes) == 1)
+        elif count == 2:
+            assert (cfg.is_symmetric and not cfg.is_periodic) or cfg.is_periodic
+        else:
+            assert cfg.is_periodic
+
+    @given(exclusive_configurations())
+    def test_rigid_implies_unique_views(self, cfg):
+        if cfg.is_rigid:
+            min_views = [cfg.min_view(node) for node in cfg.support]
+            assert len(set(min_views)) == len(min_views)
+
+    @given(exclusive_configurations())
+    def test_rigid_implies_unique_supermin_anchor(self, cfg):
+        if cfg.is_rigid:
+            assert len(cfg.supermin_anchors()) == 1
+
+
+class TestCanonicalForms:
+    @given(exclusive_configurations(), st.integers(min_value=0, max_value=20))
+    def test_canonical_gaps_invariant_under_rotation(self, cfg, offset):
+        assert cfg.rotated(offset).canonical_gaps() == cfg.canonical_gaps()
+
+    @given(exclusive_configurations(), st.integers(min_value=0, max_value=20))
+    def test_canonical_gaps_invariant_under_reflection(self, cfg, idx):
+        assert cfg.reflected(idx % cfg.n).canonical_gaps() == cfg.canonical_gaps()
+
+    @given(exclusive_configurations(), st.integers(min_value=0, max_value=20))
+    def test_canonical_key_invariant(self, cfg, offset):
+        assert cfg.rotated(offset).canonical_key() == cfg.canonical_key()
+        assert cfg.reflected(offset % cfg.n).canonical_key() == cfg.canonical_key()
+
+
+class TestSpecialForms:
+    def test_c_star_detection(self):
+        cfg = Configuration.from_occupied(10, [0, 1, 2, 3, 5])
+        assert cfg.is_c_star()
+        assert cfg.is_c_star_type()
+
+    def test_c_star_requires_large_gap(self):
+        # k = n - 3 leaves only a gap of 2 which is allowed (>= 2).
+        cfg = Configuration.from_occupied(8, [0, 1, 2, 3, 5])
+        assert cfg.is_c_star()
+
+    def test_not_c_star(self):
+        cfg = Configuration.from_occupied(10, [0, 1, 2, 4, 6])
+        assert not cfg.is_c_star()
+
+    def test_c_star_type_with_multiplicities(self):
+        # Support {0,1,2,4} is C*-type even if node 0 hosts several robots.
+        cfg = Configuration.from_positions(9, [0, 0, 0, 1, 2, 4])
+        assert cfg.is_c_star_type()
+        assert not cfg.is_c_star()  # not exclusive
+
+    def test_c_star_type_anchor(self):
+        cfg = Configuration.from_occupied(9, [0, 1, 2, 4])
+        node, direction = cfg.c_star_type_anchor()
+        assert node == 0
+        assert direction == CW
+
+    def test_c_star_type_anchor_requires_type(self):
+        cfg = Configuration.from_occupied(9, [0, 2, 4, 6])
+        with pytest.raises(InvalidConfigurationError):
+            cfg.c_star_type_anchor()
+
+
+class TestMutation:
+    def test_move_robot(self):
+        cfg = Configuration.from_occupied(6, [0, 3])
+        moved = cfg.move_robot(3, 4)
+        assert moved.support == (0, 4)
+        assert cfg.support == (0, 3)  # immutability
+
+    def test_move_requires_adjacency(self):
+        cfg = Configuration.from_occupied(6, [0, 3])
+        with pytest.raises(InvalidConfigurationError):
+            cfg.move_robot(0, 2)
+
+    def test_move_non_adjacent_allowed_when_disabled(self):
+        cfg = Configuration.from_occupied(6, [0, 3])
+        moved = cfg.move_robot(0, 2, require_adjacent=False)
+        assert moved.support == (2, 3)
+
+    def test_move_from_empty_node(self):
+        cfg = Configuration.from_occupied(6, [0, 3])
+        with pytest.raises(NotOccupiedError):
+            cfg.move_robot(1, 2)
+
+    def test_move_creates_multiplicity(self):
+        cfg = Configuration.from_occupied(6, [0, 1])
+        merged = cfg.move_robot(0, 1)
+        assert merged.multiplicity(1) == 2
+        assert merged.num_occupied == 1
+
+    def test_rotated_and_reflected(self):
+        cfg = Configuration.from_occupied(6, [0, 1, 3])
+        assert cfg.rotated(2).support == (2, 3, 5)
+        assert cfg.reflected(0).support == (0, 3, 5)
+
+
+class TestDunder:
+    def test_equality_and_hash(self):
+        a = Configuration.from_occupied(6, [0, 3])
+        b = Configuration.from_occupied(6, [3, 0])
+        c = Configuration.from_occupied(6, [0, 4])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+        assert a != "not a configuration"
+
+    def test_repr_exclusive(self):
+        assert "occupied" in repr(Configuration.from_occupied(6, [0, 3]))
+
+    def test_repr_multiplicity(self):
+        assert "robots" in repr(Configuration.from_positions(6, [0, 0, 3]))
+
+    def test_ascii_art(self):
+        cfg = Configuration.from_positions(6, [0, 0, 3])
+        art = cfg.ascii_art()
+        assert art == "2..R.."

@@ -1,0 +1,125 @@
+"""Unit and property tests for :mod:`repro.core.cyclic`."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import cyclic
+
+
+small_sequences = st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=12)
+
+
+class TestRotate:
+    def test_basic(self):
+        assert cyclic.rotate((1, 2, 3), 1) == (2, 3, 1)
+
+    def test_zero(self):
+        assert cyclic.rotate((1, 2, 3), 0) == (1, 2, 3)
+
+    def test_modulo(self):
+        assert cyclic.rotate((1, 2, 3), 4) == (2, 3, 1)
+
+    def test_empty(self):
+        assert cyclic.rotate((), 3) == ()
+
+    @given(small_sequences, st.integers(min_value=-20, max_value=20))
+    def test_rotation_preserves_multiset(self, seq, off):
+        assert sorted(cyclic.rotate(seq, off)) == sorted(seq)
+
+
+class TestReflect:
+    def test_keeps_first_element(self):
+        assert cyclic.reflect((7, 1, 2, 3)) == (7, 3, 2, 1)
+
+    def test_single(self):
+        assert cyclic.reflect((4,)) == (4,)
+
+    def test_empty(self):
+        assert cyclic.reflect(()) == ()
+
+    @given(small_sequences)
+    def test_involution(self, seq):
+        assert cyclic.reflect(cyclic.reflect(seq)) == tuple(seq)
+
+
+class TestCanonicalRotation:
+    def test_known(self):
+        assert cyclic.canonical_rotation((2, 1, 3)) == (1, 3, 2)
+
+    @given(small_sequences)
+    def test_matches_bruteforce(self, seq):
+        brute = min(cyclic.rotations(seq))
+        assert cyclic.canonical_rotation(seq) == brute
+
+    @given(small_sequences, st.integers(min_value=0, max_value=20))
+    def test_rotation_invariant(self, seq, off):
+        assert cyclic.canonical_rotation(seq) == cyclic.canonical_rotation(
+            cyclic.rotate(seq, off)
+        )
+
+
+class TestCanonicalDihedral:
+    @given(small_sequences)
+    def test_matches_bruteforce(self, seq):
+        brute = min(cyclic.all_dihedral_images(seq))
+        assert cyclic.canonical_dihedral(seq) == brute
+
+    @given(small_sequences, st.integers(min_value=0, max_value=20))
+    def test_invariant_under_rotation_and_reversal(self, seq, off):
+        canon = cyclic.canonical_dihedral(seq)
+        assert cyclic.canonical_dihedral(cyclic.rotate(seq, off)) == canon
+        assert cyclic.canonical_dihedral(tuple(reversed(tuple(seq)))) == canon
+
+
+class TestPeriodicity:
+    def test_periodic(self):
+        assert cyclic.smallest_period((1, 2, 1, 2)) == 2
+        assert cyclic.is_rotationally_symmetric((1, 2, 1, 2))
+
+    def test_aperiodic(self):
+        assert cyclic.smallest_period((1, 2, 3)) == 3
+        assert not cyclic.is_rotationally_symmetric((1, 2, 3))
+
+    def test_constant_sequence(self):
+        assert cyclic.smallest_period((5, 5, 5, 5)) == 1
+
+    def test_empty(self):
+        assert cyclic.smallest_period(()) == 0
+        assert not cyclic.is_rotationally_symmetric(())
+
+    @given(small_sequences)
+    def test_period_divides_length(self, seq):
+        p = cyclic.smallest_period(seq)
+        assert len(seq) % p == 0
+
+    @given(small_sequences, st.integers(min_value=1, max_value=4))
+    def test_repetition_is_periodic(self, seq, reps):
+        repeated = tuple(seq) * (reps + 1)
+        assert cyclic.is_rotationally_symmetric(repeated)
+
+
+class TestReflectiveSymmetry:
+    def test_palindrome_like(self):
+        # (0, 1, 2, 1) is symmetric as a cyclic sequence (axis through 0 and 2).
+        assert cyclic.is_reflectively_symmetric((0, 1, 2, 1))
+
+    def test_asymmetric(self):
+        assert not cyclic.is_reflectively_symmetric((0, 1, 2, 3))
+
+    def test_matches_are_valid(self):
+        seq = (0, 1, 2, 1)
+        rev = tuple(reversed(seq))
+        for i in cyclic.reflection_matches(seq):
+            assert cyclic.rotate(seq, i) == rev
+
+    @given(small_sequences)
+    def test_symmetry_invariant_under_rotation(self, seq):
+        value = cyclic.is_reflectively_symmetric(seq)
+        for off in range(len(seq)):
+            assert cyclic.is_reflectively_symmetric(cyclic.rotate(seq, off)) == value
+
+    @given(small_sequences)
+    def test_reflection_is_symmetric_iff_original(self, seq):
+        assert cyclic.is_reflectively_symmetric(seq) == cyclic.is_reflectively_symmetric(
+            tuple(reversed(tuple(seq)))
+        )

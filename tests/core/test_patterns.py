@@ -1,0 +1,145 @@
+"""Unit tests for the view-pattern language of Lemmas 3-5."""
+
+import pytest
+
+from repro.core.configuration import Configuration
+from repro.core.patterns import (
+    Group,
+    Lit,
+    Pattern,
+    Repeat,
+    group_plus,
+    group_star,
+    literal,
+    plus,
+    star,
+    times,
+)
+
+
+class TestElements:
+    def test_literal(self):
+        assert literal(3) == Lit(3)
+
+    def test_star_plus_times(self):
+        assert star(0) == Repeat(Lit(0), 0, None)
+        assert plus(1) == Repeat(Lit(1), 1, None)
+        assert times(0, 4) == Repeat(Lit(0), 4, 4)
+
+    def test_invalid_repeat_counts(self):
+        with pytest.raises(ValueError):
+            Repeat(Lit(0), -1)
+        with pytest.raises(ValueError):
+            Repeat(Lit(0), 3, 2)
+
+    def test_invalid_element_type(self):
+        with pytest.raises(TypeError):
+            Pattern("zero")
+
+
+class TestSimpleMatching:
+    def test_exact_sequence(self):
+        assert Pattern(0, 1, 3).matches((0, 1, 3))
+        assert not Pattern(0, 1, 3).matches((0, 1, 2))
+        assert not Pattern(0, 1, 3).matches((0, 1, 3, 0))
+
+    def test_star_matches_zero_or_more(self):
+        pattern = Pattern(0, star(1), 2)
+        assert pattern.matches((0, 2))
+        assert pattern.matches((0, 1, 2))
+        assert pattern.matches((0, 1, 1, 1, 2))
+        assert not pattern.matches((0, 1, 1))
+
+    def test_plus_requires_at_least_one(self):
+        pattern = Pattern(0, plus(1), 2)
+        assert not pattern.matches((0, 2))
+        assert pattern.matches((0, 1, 2))
+        assert pattern.matches((0, 1, 1, 2))
+
+    def test_times(self):
+        pattern = Pattern(times(0, 3), 1)
+        assert pattern.matches((0, 0, 0, 1))
+        assert not pattern.matches((0, 0, 1))
+        assert not pattern.matches((0, 0, 0, 0, 1))
+
+    def test_backtracking_with_ambiguous_star(self):
+        # The star must not greedily swallow the final literal.
+        pattern = Pattern(star(1), 1)
+        assert pattern.matches((1,))
+        assert pattern.matches((1, 1, 1))
+
+    def test_empty_pattern_matches_empty_sequence(self):
+        assert Pattern().matches(())
+        assert not Pattern().matches((1,))
+
+
+class TestGroups:
+    def test_group_plus(self):
+        # {0,1}+ : one or more repetitions of the pair.
+        pattern = Pattern(group_plus(0, 1))
+        assert pattern.matches((0, 1))
+        assert pattern.matches((0, 1, 0, 1))
+        assert not pattern.matches(())
+        assert not pattern.matches((0, 1, 0))
+
+    def test_group_star(self):
+        pattern = Pattern(2, group_star(0, 1), 2)
+        assert pattern.matches((2, 2))
+        assert pattern.matches((2, 0, 1, 2))
+        assert pattern.matches((2, 0, 1, 0, 1, 2))
+        assert not pattern.matches((2, 0, 2))
+
+    def test_nested_group_object(self):
+        grp = Group(0, Lit(1))
+        assert grp.items == (Lit(0), Lit(1))
+
+
+class TestPaperPatterns:
+    def test_lemma4_condition5(self):
+        """Pattern (0, 1, 1+, 2) from Lemma 4."""
+        pattern = Pattern(0, 1, plus(1), 2)
+        assert pattern.matches((0, 1, 1, 2))
+        assert pattern.matches((0, 1, 1, 1, 1, 2))
+        assert not pattern.matches((0, 1, 2))
+        assert not pattern.matches((0, 1, 1, 3))
+
+    @pytest.mark.parametrize("l1", [2, 3, 4])
+    def test_lemma4_condition6(self, l1):
+        """Pattern (0^{l1}, 1, {0^{l1-1}, 1}+, 0^{l1-2}, 1) from Lemma 4."""
+        pattern = Pattern(
+            times(0, l1), 1, group_plus(times(0, l1 - 1), 1), times(0, l1 - 2), 1
+        )
+        one_rep = (0,) * l1 + (1,) + (0,) * (l1 - 1) + (1,) + (0,) * (l1 - 2) + (1,)
+        two_rep = (
+            (0,) * l1 + (1,) + ((0,) * (l1 - 1) + (1,)) * 2 + (0,) * (l1 - 2) + (1,)
+        )
+        assert pattern.matches(one_rep)
+        assert pattern.matches(two_rep)
+        assert not pattern.matches((0,) * l1 + (1,) + (0,) * (l1 - 2) + (1,))
+
+    def test_example_from_paper_text(self):
+        """The paper's example: (0,0,0,1,...,1,2,2,...,2) belongs to (0{3}, 1*, 2+)."""
+        pattern = Pattern(times(0, 3), star(1), plus(2))
+        assert pattern.matches((0, 0, 0, 1, 1, 2, 2, 2))
+        assert pattern.matches((0, 0, 0, 2))
+        assert not pattern.matches((0, 0, 1, 2))
+
+
+class TestConfigurationMembership:
+    def test_configuration_belongs_to_pattern(self):
+        # Supermin view (0, 1, 1, 2): the configuration Cs of the paper.
+        cfg = Configuration.from_gaps((0, 1, 1, 2))
+        assert Pattern(0, 1, plus(1), 2).matches_configuration(cfg)
+
+    def test_configuration_not_in_pattern(self):
+        cfg = Configuration.from_gaps((0, 0, 1, 3))
+        assert not Pattern(0, 1, plus(1), 2).matches_configuration(cfg)
+
+    def test_membership_checks_all_views(self):
+        # A pattern that only matches one reading direction of one node.
+        cfg = Configuration.from_gaps((3, 1, 0))
+        assert Pattern(0, 1, 3).matches_configuration(cfg)
+
+    def test_repr_is_informative(self):
+        rendered = repr(Pattern(0, plus(1), times(2, 3), group_star(0, 1)))
+        assert "0" in rendered and "+" in rendered and "{3}" in rendered

@@ -1,0 +1,121 @@
+"""Unit tests for :mod:`repro.core.ring`."""
+
+import pytest
+
+from repro.core.errors import InvalidRingError
+from repro.core.ring import CCW, CW, Ring, edge
+
+
+class TestConstruction:
+    def test_minimum_size(self):
+        assert Ring(3).n == 3
+
+    @pytest.mark.parametrize("n", [0, 1, 2, -5])
+    def test_too_small_rejected(self, n):
+        with pytest.raises(InvalidRingError):
+            Ring(n)
+
+    def test_nodes_range(self):
+        assert list(Ring(5).nodes) == [0, 1, 2, 3, 4]
+
+
+class TestEdges:
+    def test_edge_count(self):
+        assert len(Ring(7).edges()) == 7
+
+    def test_edges_normalised(self):
+        edges = Ring(4).edges()
+        assert (3, 0) in edges
+        assert (0, 1) in edges
+
+    def test_edge_between_wraparound(self):
+        assert Ring(6).edge_between(0, 5) == (5, 0)
+        assert Ring(6).edge_between(5, 0) == (5, 0)
+
+    def test_edge_function_rejects_non_adjacent(self):
+        with pytest.raises(ValueError):
+            edge(0, 2, 6)
+
+    def test_every_edge_is_adjacent_pair(self):
+        ring = Ring(9)
+        for u, v in ring.edges():
+            assert ring.are_adjacent(u, v)
+
+
+class TestNeighbors:
+    def test_successor_cw(self):
+        assert Ring(5).successor(4, CW) == 0
+
+    def test_successor_ccw(self):
+        assert Ring(5).successor(0, CCW) == 4
+
+    def test_successor_invalid_direction(self):
+        with pytest.raises(ValueError):
+            Ring(5).successor(0, 2)
+
+    def test_neighbors(self):
+        assert Ring(5).neighbors(0) == (1, 4)
+
+    def test_adjacency_symmetric(self):
+        ring = Ring(8)
+        assert ring.are_adjacent(7, 0)
+        assert ring.are_adjacent(0, 7)
+        assert not ring.are_adjacent(0, 2)
+        assert not ring.are_adjacent(3, 3)
+
+
+class TestDistances:
+    def test_directed_distance(self):
+        ring = Ring(10)
+        assert ring.directed_distance(2, 5, CW) == 3
+        assert ring.directed_distance(2, 5, CCW) == 7
+
+    def test_directed_distance_invalid_direction(self):
+        with pytest.raises(ValueError):
+            Ring(10).directed_distance(0, 1, 0)
+
+    def test_distance_shortest(self):
+        ring = Ring(10)
+        assert ring.distance(0, 7) == 3
+        assert ring.distance(7, 0) == 3
+        assert ring.distance(3, 3) == 0
+
+    @pytest.mark.parametrize(
+        "n,u,v,expected",
+        [
+            (8, 0, 4, True),
+            (8, 0, 3, False),
+            (7, 0, 3, True),
+            (7, 0, 4, True),
+            (7, 0, 2, False),
+            (7, 0, 0, False),
+        ],
+    )
+    def test_diametral(self, n, u, v, expected):
+        assert Ring(n).are_diametral(u, v) is expected
+
+
+class TestWalks:
+    def test_walk_includes_start(self):
+        assert Ring(6).walk(4, 3, CW) == [4, 5, 0, 1]
+
+    def test_walk_ccw(self):
+        assert Ring(6).walk(1, 2, CCW) == [1, 0, 5]
+
+    def test_walk_negative_steps(self):
+        with pytest.raises(ValueError):
+            Ring(6).walk(0, -1)
+
+    def test_arc(self):
+        assert Ring(6).arc(4, 1, CW) == [4, 5, 0, 1]
+
+    def test_strictly_between(self):
+        assert Ring(6).strictly_between(4, 1, CW) == [5, 0]
+        assert Ring(6).strictly_between(4, 5, CW) == []
+
+    def test_iter_from_covers_all(self):
+        assert sorted(Ring(5).iter_from(3, CCW)) == [0, 1, 2, 3, 4]
+
+    def test_segment_edges(self):
+        ring = Ring(5)
+        assert ring.segment_edges([3, 4, 0]) == [(3, 4), (4, 0)]

@@ -1,0 +1,96 @@
+"""Unit tests for :mod:`repro.core.symmetry`."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.symmetry import (
+    Axis,
+    is_periodic_support,
+    is_rigid_support,
+    is_symmetric_support,
+    reflect_node,
+    reflection_symmetries,
+    rotate_node,
+    rotation_symmetries,
+    symmetry_axes,
+)
+
+
+@st.composite
+def supports(draw, min_n=3, max_n=12):
+    n = draw(st.integers(min_value=min_n, max_value=max_n))
+    k = draw(st.integers(min_value=1, max_value=n))
+    nodes = draw(
+        st.lists(st.integers(min_value=0, max_value=n - 1), min_size=k, max_size=k, unique=True)
+    )
+    return n, frozenset(nodes)
+
+
+class TestElementaryMaps:
+    def test_rotate_node(self):
+        assert rotate_node(5, 3, 7) == 1
+
+    def test_reflect_node(self):
+        assert reflect_node(2, 0, 7) == 5
+        assert reflect_node(0, 0, 7) == 0
+
+    @given(st.integers(min_value=0, max_value=20), st.integers(min_value=0, max_value=20))
+    def test_reflection_is_involution(self, x, c):
+        n = 21
+        assert reflect_node(reflect_node(x, c, n), c, n) == x
+
+
+class TestSymmetryPredicates:
+    def test_evenly_spaced_is_periodic(self):
+        assert is_periodic_support({0, 3, 6}, 9)
+        assert rotation_symmetries({0, 3, 6}, 9) == [3, 6]
+
+    def test_single_node_symmetric_not_periodic(self):
+        assert is_symmetric_support({2}, 7)
+        assert not is_periodic_support({2}, 7)
+        assert not is_rigid_support({2}, 7)
+
+    def test_rigid_example(self):
+        assert is_rigid_support({0, 1, 2, 4}, 9)
+
+    def test_symmetric_example(self):
+        # Axis through node 1 and the opposite edge.
+        assert is_symmetric_support({0, 1, 2, 5}, 8)
+
+    @given(supports())
+    def test_rotating_support_preserves_classification(self, data):
+        n, support = data
+        shifted = {(x + 1) % n for x in support}
+        assert is_periodic_support(support, n) == is_periodic_support(shifted, n)
+        assert is_symmetric_support(support, n) == is_symmetric_support(shifted, n)
+
+    @given(supports())
+    def test_full_ring_is_periodic(self, data):
+        n, _ = data
+        assert is_periodic_support(set(range(n)), n)
+
+
+class TestAxes:
+    def test_axes_of_symmetric_configuration(self):
+        axes = symmetry_axes({0, 1, 2, 5}, 8)
+        assert len(axes) == 1
+        axis = axes[0]
+        assert isinstance(axis, Axis)
+        assert axis.passes_through_node(1)
+        assert axis.passes_through_node(5)
+        assert axis.node_anchors() == [1, 5]
+
+    def test_axes_of_rigid_configuration(self):
+        assert symmetry_axes({0, 1, 2, 4}, 9) == []
+
+    def test_axis_count_matches_reflection_count(self):
+        support = {0, 2, 4, 6}
+        n = 8
+        assert len(symmetry_axes(support, n)) == len(reflection_symmetries(support, n))
+
+    @given(supports())
+    def test_axes_fix_the_support(self, data):
+        n, support = data
+        for axis in symmetry_axes(support, n):
+            c = axis.reflection_index
+            assert {reflect_node(x, c, n) for x in support} == set(support)

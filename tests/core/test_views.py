@@ -1,0 +1,132 @@
+"""Unit and property tests for :mod:`repro.core.views`."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import views
+from repro.core.cyclic import rotations
+from repro.core.ring import CCW, CW
+
+
+# Gap cycles of up to 8 occupied nodes with gaps up to 5.
+gap_cycles = st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=8).map(tuple)
+
+
+class TestRingSize:
+    def test_ring_size(self):
+        assert views.ring_size_of((0, 1, 3)) == 7
+
+    def test_single_robot(self):
+        assert views.ring_size_of((4,)) == 5
+
+
+class TestDirectedViews:
+    def test_cw_view_is_rotation(self):
+        gaps = (0, 1, 3)
+        assert views.cw_view(gaps, 0) == (0, 1, 3)
+        assert views.cw_view(gaps, 1) == (1, 3, 0)
+        assert views.cw_view(gaps, 2) == (3, 0, 1)
+
+    def test_ccw_view(self):
+        gaps = (0, 1, 3)
+        # Reading counter-clockwise from node 0, the first gap met is the
+        # one preceding node 0 clockwise, i.e. gaps[-1].
+        assert views.ccw_view(gaps, 0) == (3, 1, 0)
+        assert views.ccw_view(gaps, 1) == (0, 3, 1)
+        assert views.ccw_view(gaps, 2) == (1, 0, 3)
+
+    def test_all_views_count(self):
+        gaps = (0, 1, 3, 2)
+        all_views = views.directed_views(gaps)
+        assert len(all_views) == 2 * len(gaps)
+        assert all_views[(0, CW)] == (0, 1, 3, 2)
+        assert all_views[(0, CCW)] == (2, 3, 1, 0)
+
+    @given(gap_cycles)
+    def test_views_preserve_gap_multiset(self, gaps):
+        for view in views.directed_views(gaps).values():
+            assert sorted(view) == sorted(gaps)
+
+    @given(gap_cycles, st.integers(min_value=0, max_value=7))
+    def test_cw_and_ccw_are_mirror(self, gaps, idx):
+        idx %= len(gaps)
+        cw = views.cw_view(gaps, idx)
+        ccw = views.ccw_view(gaps, idx)
+        # Reading one way and reversing gives the reading in the other
+        # direction from the same node.
+        assert tuple(reversed(cw)) == ccw
+        assert sorted(cw) == sorted(ccw)
+
+
+class TestSupermin:
+    def test_supermin_of_c_star(self):
+        # C* with k=5, n=10: view (0,0,0,1,4).
+        gaps = (1, 4, 0, 0, 0)
+        assert views.supermin_view(gaps) == (0, 0, 0, 1, 4)
+
+    def test_supermin_smaller_than_all_views(self):
+        gaps = (2, 0, 1, 3)
+        target = views.supermin_view(gaps)
+        for view in views.directed_views(gaps).values():
+            assert target <= view
+
+    @given(gap_cycles)
+    def test_supermin_is_minimum_of_views(self, gaps):
+        all_views = views.directed_views(gaps).values()
+        assert views.supermin_view(gaps) == min(all_views)
+
+    @given(gap_cycles)
+    def test_supermin_invariant_under_rotation(self, gaps):
+        target = views.supermin_view(gaps)
+        for rot in rotations(gaps):
+            assert views.supermin_view(rot) == target
+
+    @given(gap_cycles)
+    def test_supermin_invariant_under_reversal(self, gaps):
+        assert views.supermin_view(tuple(reversed(gaps))) == views.supermin_view(gaps)
+
+    def test_anchors_unique_for_rigid(self):
+        gaps = (0, 1, 3)  # rigid: C* with k=3, n=7
+        anchors = views.supermin_anchors(gaps)
+        assert len(anchors) == 1
+        idx, direction = anchors[0]
+        view = views.cw_view(gaps, idx) if direction == CW else views.ccw_view(gaps, idx)
+        assert view == views.supermin_view(gaps)
+
+    def test_anchors_multiple_for_symmetric(self):
+        gaps = (1, 2, 1, 2)  # periodic configuration
+        assert len(views.supermin_anchors(gaps)) >= 2
+
+    @given(gap_cycles)
+    def test_anchor_views_equal_supermin(self, gaps):
+        target = views.supermin_view(gaps)
+        for idx, direction in views.supermin_anchors(gaps):
+            view = views.cw_view(gaps, idx) if direction == CW else views.ccw_view(gaps, idx)
+            assert view == target
+
+
+class TestNodeView:
+    def test_node_view_is_min_of_two(self):
+        gaps = (0, 1, 3)
+        assert views.node_view(gaps, 0) == min((0, 1, 3), (3, 1, 0))
+
+    @given(gap_cycles, st.integers(min_value=0, max_value=7))
+    def test_node_view_ge_supermin(self, gaps, idx):
+        idx %= len(gaps)
+        assert views.node_view(gaps, idx) >= views.supermin_view(gaps)
+
+
+class TestSuperminIntervals:
+    def test_unique_for_rigid(self):
+        assert views.supermin_interval_indices((0, 1, 3)) == [0]
+
+    def test_two_for_axis_not_through_supermin(self):
+        # (0, 2, 0, 2): periodic with period n/2; two supermin intervals.
+        assert len(views.supermin_interval_indices((0, 2, 0, 2))) == 2
+
+    def test_many_for_strongly_periodic(self):
+        assert len(views.supermin_interval_indices((1, 1, 1, 1))) == 4
+
+    @given(gap_cycles)
+    def test_at_least_one(self, gaps):
+        assert len(views.supermin_interval_indices(gaps)) >= 1

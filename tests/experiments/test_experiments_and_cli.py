@@ -1,0 +1,93 @@
+"""Tests for the experiment drivers, report rendering and the CLI."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments import EXPERIMENTS
+from repro.experiments import e1_configuration_census, e6_feasibility_table
+from repro.experiments.report import ExperimentResult, render_table
+from repro.workloads.suites import Suite
+
+
+class TestReportRendering:
+    def test_render_table_alignment(self):
+        text = render_table(("a", "bb"), [(1, 2.5), (30, "x")])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "2.50" in text
+        assert all(len(line) == len(lines[0]) for line in lines[:1])
+
+    def test_experiment_result_render(self):
+        result = ExperimentResult(
+            experiment="E0", title="demo", header=("x", "y"), rows=[(1, 2)]
+        )
+        result.add_row(3, 4)
+        result.add_note("a note")
+        text = result.render()
+        assert "E0" in text and "a note" in text and "PASS" in text
+
+    def test_experiment_result_fail_rendering(self):
+        result = ExperimentResult(experiment="E0", title="demo", header=("x",), passed=False)
+        assert "FAIL" in result.render()
+
+
+class TestExperimentRegistry:
+    def test_registry_contains_all_seven(self):
+        assert sorted(EXPERIMENTS) == ["e1", "e2", "e3", "e4", "e5", "e6", "e7"]
+
+    def test_e1_quick_passes(self):
+        result = e1_configuration_census.run("quick")
+        assert result.passed
+        assert len(result.rows) == 6
+        assert all(row[-1] == "yes" for row in result.rows)
+
+    def test_e6_simulation_cross_check_helper(self):
+        assert e6_feasibility_table.simulation_cross_check(6, 11)
+        assert e6_feasibility_table.simulation_cross_check(7, 10)
+        assert not e6_feasibility_table.simulation_cross_check(4, 9)
+
+    def test_suite_dataclass_defaults(self):
+        suite = Suite(name="x", description="d", pairs=((3, 9),))
+        assert suite.samples_per_pair == 3
+        assert suite.steps_factor == 30
+
+
+class TestCli:
+    def test_parser_commands(self):
+        parser = build_parser()
+        args = parser.parse_args(["experiment", "e1"])
+        assert args.name == "e1" and not args.full
+        args = parser.parse_args(["census", "9", "6"])
+        assert (args.n, args.k) == (9, 6)
+
+    def test_cli_census(self):
+        out = io.StringIO()
+        assert main(["census", "9", "6"], out=out) == 0
+        assert "7" in out.getvalue()
+
+    def test_cli_feasibility(self):
+        out = io.StringIO()
+        assert main(["feasibility", "12"], out=out) == 0
+        text = out.getvalue()
+        assert "feasible" in text and "infeasible" in text and "open" in text
+
+    def test_cli_experiment_e1(self):
+        out = io.StringIO()
+        assert main(["experiment", "e1"], out=out) == 0
+        assert "Figure 4" in out.getvalue()
+
+    def test_cli_demo_align(self):
+        out = io.StringIO()
+        assert main(["demo", "align", "12", "5", "--steps", "300"], out=out) == 0
+        assert "reached C*" in out.getvalue()
+
+    def test_cli_demo_gathering(self):
+        out = io.StringIO()
+        assert main(["demo", "gathering", "11", "4", "--steps", "2000"], out=out) == 0
+        assert "gathered!" in out.getvalue()
+
+    def test_cli_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "e42"], out=io.StringIO())

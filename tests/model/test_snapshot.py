@@ -1,0 +1,87 @@
+"""Unit tests for :mod:`repro.model.snapshot`."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.configuration import Configuration
+from repro.core.errors import InvalidConfigurationError
+from repro.core.ring import CCW, CW
+from repro.model.snapshot import Snapshot
+
+
+def snapshot_of(configuration, node, first_direction=CW, multiplicity_detection=False):
+    """Build the snapshot a robot on ``node`` would receive (test helper)."""
+    first = configuration.directed_view(node, first_direction)
+    second = configuration.directed_view(node, -first_direction)
+    return Snapshot(
+        n=configuration.n,
+        views=(first, second),
+        on_multiplicity=multiplicity_detection and configuration.has_multiplicity(node),
+    )
+
+
+class TestValidation:
+    def test_valid(self):
+        snap = Snapshot(n=7, views=((0, 1, 3), (3, 1, 0)))
+        assert snap.num_occupied == 3
+        assert not snap.on_multiplicity
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(InvalidConfigurationError):
+            Snapshot(n=7, views=((0, 1, 3), (3, 1)))
+
+    def test_mismatched_sums(self):
+        with pytest.raises(InvalidConfigurationError):
+            Snapshot(n=7, views=((0, 1, 3), (3, 1, 1)))
+
+    def test_ring_size_mismatch(self):
+        with pytest.raises(InvalidConfigurationError):
+            Snapshot(n=8, views=((0, 1, 3), (3, 1, 0)))
+
+
+class TestViews:
+    def test_min_view(self):
+        snap = Snapshot(n=7, views=((3, 1, 0), (0, 1, 3)))
+        assert snap.min_view == (0, 1, 3)
+
+    def test_other_view(self):
+        snap = Snapshot(n=7, views=((3, 1, 0), (0, 1, 3)))
+        assert snap.other_view(0) == (0, 1, 3)
+        assert snap.other_view(1) == (3, 1, 0)
+
+
+class TestLocalReconstruction:
+    def test_local_occupied_nodes(self):
+        snap = Snapshot(n=9, views=((0, 0, 1, 4), (4, 1, 0, 0)))
+        assert snap.local_occupied_nodes() == (0, 1, 2, 4)
+
+    def test_local_configuration_is_isomorphic(self):
+        cfg = Configuration.from_occupied(9, [0, 1, 2, 4])
+        snap = snapshot_of(cfg, 4, CCW)
+        local = snap.local_configuration()
+        assert local.canonical_gaps() == cfg.canonical_gaps()
+
+    @given(
+        st.integers(min_value=5, max_value=12),
+        st.data(),
+    )
+    def test_reconstruction_preserves_canonical_form(self, n, data):
+        k = data.draw(st.integers(min_value=1, max_value=n - 1))
+        occupied = data.draw(
+            st.lists(st.integers(min_value=0, max_value=n - 1), min_size=k, max_size=k, unique=True)
+        )
+        cfg = Configuration.from_occupied(n, occupied)
+        node = data.draw(st.sampled_from(sorted(cfg.support)))
+        direction = data.draw(st.sampled_from([CW, CCW]))
+        snap = snapshot_of(cfg, node, direction)
+        local = snap.local_configuration()
+        assert local.canonical_gaps() == cfg.canonical_gaps()
+        # The observing robot sits at local node 0.
+        assert local.is_occupied(0)
+
+    def test_single_robot_snapshot(self):
+        cfg = Configuration.from_occupied(5, [2])
+        snap = snapshot_of(cfg, 2)
+        assert snap.views == ((4,), (4,))
+        assert snap.local_occupied_nodes() == (0,)

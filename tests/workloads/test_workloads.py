@@ -1,0 +1,96 @@
+"""Tests for workload generators and experiment suites."""
+
+import random
+
+import pytest
+
+from repro.core.errors import InvalidConfigurationError, UnsupportedParametersError
+from repro.workloads.generators import (
+    extremal_configurations,
+    random_exclusive_configuration,
+    random_rigid_configuration,
+    rigid_configurations,
+    sample_rigid_configurations,
+)
+from repro.workloads.suites import SUITES, get_suite
+
+
+class TestGenerators:
+    def test_random_exclusive(self):
+        rng = random.Random(0)
+        cfg = random_exclusive_configuration(10, 4, rng)
+        assert cfg.n == 10
+        assert cfg.k == 4
+        assert cfg.is_exclusive
+
+    def test_random_exclusive_validation(self):
+        with pytest.raises(InvalidConfigurationError):
+            random_exclusive_configuration(5, 6, random.Random(0))
+
+    def test_random_rigid(self):
+        rng = random.Random(1)
+        for _ in range(20):
+            cfg = random_rigid_configuration(14, 6, rng)
+            assert cfg.is_rigid
+
+    def test_random_rigid_rejects_impossible_parameters(self):
+        with pytest.raises(UnsupportedParametersError):
+            random_rigid_configuration(8, 6, random.Random(0))
+        with pytest.raises(UnsupportedParametersError):
+            random_rigid_configuration(8, 2, random.Random(0))
+
+    def test_rigid_configurations_exhaustive(self):
+        configs = rigid_configurations(9, 4)
+        assert configs
+        assert all(c.is_rigid for c in configs)
+
+    def test_sample_rigid_deterministic(self):
+        a = [c.canonical_gaps() for c in sample_rigid_configurations(13, 5, 4, seed=9)]
+        b = [c.canonical_gaps() for c in sample_rigid_configurations(13, 5, 4, seed=9)]
+        assert a == b
+
+    def test_extremal_configurations(self):
+        configs = list(extremal_configurations(8, 4))
+        assert any(c.supermin_view() == (0, 1, 1, 2) for c in configs)  # Cs
+        assert any(c.is_c_star() for c in configs)
+
+    def test_extremal_configurations_large(self):
+        configs = list(extremal_configurations(12, 5))
+        assert configs
+        assert all(c.n == 12 and c.k == 5 for c in configs)
+
+
+class TestSuites:
+    def test_all_suites_have_quick_and_full(self):
+        for name, variants in SUITES.items():
+            assert "quick" in variants and "full" in variants
+            assert variants["quick"].name == name
+
+    def test_get_suite(self):
+        suite = get_suite("e3")
+        assert suite.pairs
+        assert all(len(pair) == 2 for pair in suite.pairs)
+
+    def test_get_suite_unknown(self):
+        with pytest.raises(KeyError):
+            get_suite("e99")
+        with pytest.raises(KeyError):
+            get_suite("e1", "gigantic")
+
+    def test_e3_pairs_are_in_the_proven_range(self):
+        from repro.algorithms.ring_clearing import ring_clearing_supported
+
+        for variant in ("quick", "full"):
+            for k, n in get_suite("e3", variant).pairs:
+                assert ring_clearing_supported(n, k)
+
+    def test_e4_pairs_are_k_equals_n_minus_3(self):
+        for variant in ("quick", "full"):
+            for k, n in get_suite("e4", variant).pairs:
+                assert k == n - 3 and n >= 10
+
+    def test_e6_pairs_fit_the_game_solver(self):
+        from repro.analysis.game import SearchGameSolver
+
+        for k, n in get_suite("e6", "quick").pairs:
+            SearchGameSolver(n, k)  # must not raise
