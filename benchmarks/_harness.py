@@ -1,0 +1,67 @@
+"""Shared smoke-benchmark harness.
+
+Every ``bench_e*.py`` file doubles as a script: ``python
+benchmarks/bench_e1_census.py`` runs a small, representative workload a
+few times and writes ``BENCH_<exp>.json`` with the median wall-time per
+workload.  CI runs each script once (the *benchmark smoke gate*: any
+exception fails the job) and then feeds the emitted files to
+``tools/bench_compare.py``, which warns when a hot path regresses
+against the committed baseline (``benchmarks/baselines.json``).
+
+The emitted document::
+
+    {"experiment": "e1",
+     "workloads": {"census-figures": {"median_s": 0.012, "runs": 3}, ...},
+     "python": "3.11.7", "cpu_count": 4}
+"""
+
+import json
+import os
+import platform
+import statistics
+import sys
+import time
+
+__all__ = ["emit"]
+
+
+def emit(experiment, workloads, repeats=3, out_dir=None, extra=None):
+    """Time each workload, write ``BENCH_<experiment>.json``, print a summary.
+
+    Args:
+        experiment: experiment identifier (``e1`` .. ``e7``).
+        workloads: mapping ``name -> zero-argument callable``.
+        repeats: timed runs per workload (median is reported).
+        out_dir: output directory; defaults to ``$BENCH_OUT`` or CWD.
+        extra: optional extra keys merged into the document (e.g. a
+            measured speedup).
+
+    Returns:
+        The path of the written file.
+    """
+    out_dir = out_dir or os.environ.get("BENCH_OUT", ".")
+    results = {}
+    for name, workload in workloads.items():
+        times = []
+        for _ in range(repeats):
+            started = time.perf_counter()
+            workload()
+            times.append(time.perf_counter() - started)
+        results[name] = {"median_s": round(statistics.median(times), 6), "runs": repeats}
+        print(f"[bench {experiment}] {name}: median {results[name]['median_s']:.3f}s "
+              f"over {repeats} run(s)", file=sys.stderr)
+    document = {
+        "experiment": experiment,
+        "workloads": results,
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+    }
+    if extra:
+        document.update(extra)
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"BENCH_{experiment}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"[bench {experiment}] wrote {path}", file=sys.stderr)
+    return path

@@ -24,3 +24,19 @@ def test_census_larger_grid(benchmark):
 
     totals = benchmark(grid)
     assert sum(totals) > 0
+
+
+def main():
+    from _harness import emit
+
+    emit(
+        "e1",
+        {
+            "census-figures": lambda: [census(n, k) for k, n in sorted(PAPER_FIGURE_COUNTS)],
+            "census-grid-n14": lambda: [census(14, k) for k in range(1, 15)],
+        },
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -40,3 +40,29 @@ def test_align_convergence_scaling(benchmark, n, k):
     trace = benchmark(_converge, configuration)
     assert trace.final_configuration.is_c_star()
     assert trace.total_moves <= 2 * n * k
+
+
+def _smoke_exhaustive(n, k):
+    for configuration in rigid_configurations(n, k)[:20]:
+        assert _converge(configuration).final_configuration.is_c_star()
+
+
+def _smoke_scaling(n, k):
+    configuration = random_rigid_configuration(n, k, random.Random(42))
+    assert _converge(configuration).final_configuration.is_c_star()
+
+
+def main():
+    from _harness import emit
+
+    emit(
+        "e2",
+        {
+            "align-exhaustive-n12-k6": lambda: _smoke_exhaustive(12, 6),
+            "align-scaling-n32-k12": lambda: _smoke_scaling(32, 12),
+        },
+    )
+
+
+if __name__ == "__main__":
+    main()

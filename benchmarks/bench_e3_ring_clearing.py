@@ -32,3 +32,25 @@ def test_ring_clearing_larger_ring(benchmark):
     searching, exploration, trace = benchmark(_perpetual_run, n, k)
     assert searching.every_edge_cleared(1)
     assert exploration.all_robots_covered_ring(1)
+
+
+def _smoke_perpetual(n, k):
+    searching, exploration, trace = _perpetual_run(n, k)
+    assert not trace.had_collision
+    assert searching.every_edge_cleared(1)
+
+
+def main():
+    from _harness import emit
+
+    emit(
+        "e3",
+        {
+            "ring-clearing-n12-k7": lambda: _smoke_perpetual(12, 7),
+            "ring-clearing-n14-k8": lambda: _smoke_perpetual(14, 8),
+        },
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -52,3 +52,25 @@ def test_nminusthree_phase1_convergence(benchmark):
 
     reached = benchmark(phase_one)
     assert reached == len(starts)
+
+
+def _smoke_perpetual(n):
+    searching, exploration, trace = _perpetual_run(n)
+    assert not trace.had_collision
+    assert searching.every_edge_cleared(1)
+
+
+def main():
+    from _harness import emit
+
+    emit(
+        "e4",
+        {
+            "nminusthree-n10": lambda: _smoke_perpetual(10),
+            "nminusthree-n12": lambda: _smoke_perpetual(12),
+        },
+    )
+
+
+if __name__ == "__main__":
+    main()

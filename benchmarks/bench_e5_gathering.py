@@ -37,3 +37,31 @@ def test_gathering_scaling(benchmark, n, k):
     trace = benchmark(gather)
     assert trace.final_configuration.num_occupied == 1
     assert trace.total_moves <= 3 * n * k
+
+
+def _smoke_exhaustive(n, k):
+    for configuration in rigid_configurations(n, k)[:15]:
+        trace, _ = run_gathering(GatheringAlgorithm(), configuration)
+        assert trace.final_configuration.num_occupied == 1
+
+
+def _smoke_scaling(n, k):
+    configuration = random_rigid_configuration(n, k, random.Random(7))
+    trace, _ = run_gathering(GatheringAlgorithm(), configuration, max_steps=80 * n * k)
+    assert trace.final_configuration.num_occupied == 1
+
+
+def main():
+    from _harness import emit
+
+    emit(
+        "e5",
+        {
+            "gathering-exhaustive-n10-k5": lambda: _smoke_exhaustive(10, 5),
+            "gathering-scaling-n24-k8": lambda: _smoke_scaling(24, 8),
+        },
+    )
+
+
+if __name__ == "__main__":
+    main()

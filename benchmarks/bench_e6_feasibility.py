@@ -25,3 +25,19 @@ def test_game_solver_eight_node_two_robots(benchmark):
     """Theorem 2 base case on the largest ring the solver handles quickly."""
     result = benchmark(searching_game_verdict, 8, 2)
     assert result.verdict is GameVerdict.IMPOSSIBLE
+
+
+def main():
+    from _harness import emit
+
+    emit(
+        "e6",
+        {
+            "feasibility-table-n24": lambda: feasibility_table("searching", 24),
+            "game-solver-n6-k3": lambda: searching_game_verdict(6, 3),
+        },
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,47 +1,91 @@
-"""Benchmark E7 — scaling of Align moves, gathering moves and clearing period."""
+"""Benchmark E7 — the scaling experiment, driven through the campaign layer.
 
-import random
+E7 is the heaviest quick-suite experiment and its ``(k, n)`` grid is
+embarrassingly parallel, so this benchmark exercises the
+``repro.campaign`` executor end to end: one timed serial pass, a
+serial-vs-parallel determinism check, and — on machines with enough
+cores — the wall-clock speedup of ``--jobs 4`` over ``--jobs 1``.
+
+In script mode (``python benchmarks/bench_e7_scaling.py``) the measured
+speedup is recorded in ``BENCH_e7.json``; set ``BENCH_REQUIRE_SPEEDUP=1``
+(as the CI smoke job does on multi-core runners) to fail the run when
+the parallel campaign is not at least 2x faster.
+"""
+
+import os
+import time
 
 import pytest
 
-from repro.algorithms.align import AlignAlgorithm
-from repro.algorithms.ring_clearing import RingClearingAlgorithm
-from repro.analysis.metrics import clearing_metrics, convergence_metrics
-from repro.simulator.engine import Simulator
-from repro.tasks import SearchingMonitor
-from repro.workloads.generators import random_rigid_configuration
+from repro.campaign import build_campaign, run_campaign
+from repro.experiments.e7_scaling import run_unit
 
 
-@pytest.mark.parametrize("n", [16, 24, 32])
-def test_align_moves_scale_linearly_in_n(benchmark, n):
-    k = 6
-    rng = random.Random(n)
-    configuration = random_rigid_configuration(n, k, rng)
-
-    def converge():
-        engine = Simulator(AlignAlgorithm(), configuration)
-        trace = engine.run_until(lambda sim: sim.configuration.is_c_star(), 40 * n * k)
-        return convergence_metrics(trace)
-
-    metrics = benchmark(converge)
-    assert metrics.reached
-    assert metrics.moves <= 2 * n * k
+def _run_quick_campaign(jobs):
+    report = run_campaign(build_campaign("e7", "quick"), run_unit, jobs=jobs)
+    assert not report.failures
+    return report
 
 
-@pytest.mark.parametrize("n", [12, 16, 20])
-def test_full_clearing_cost_scales_with_n(benchmark, n):
-    k = 6
-    rng = random.Random(n + 1)
-    configuration = random_rigid_configuration(n, k, rng)
+def _timed_quick_campaign(jobs):
+    started = time.perf_counter()
+    report = _run_quick_campaign(jobs)
+    return time.perf_counter() - started, report
 
-    def measure():
-        searching = SearchingMonitor()
-        engine = Simulator(RingClearingAlgorithm(), configuration, monitors=[searching])
-        engine.run(30 * n * k)
-        return clearing_metrics(searching, trace=engine.trace)
 
-    metrics = benchmark(measure)
-    assert metrics.all_clear_count >= 2
-    assert metrics.moves_to_full_clear is not None
-    # Align phase (O(n*k) moves) plus at most a couple of tours of the ring.
-    assert metrics.moves_to_full_clear <= 2 * n * k + 4 * n
+def test_e7_quick_campaign_serial(benchmark):
+    report = benchmark.pedantic(_run_quick_campaign, args=(1,), rounds=1, iterations=1)
+    assert len(report.records) == report.campaign.num_units
+    moves_per_nk = [record["payload"]["row"][3] for record in report.records]
+    # Align moves / (n*k) stays bounded by a small constant (paper shape).
+    assert all(ratio <= 2.0 for ratio in moves_per_nk)
+
+
+def test_e7_campaign_parallel_matches_serial():
+    serial = _run_quick_campaign(1)
+    parallel = _run_quick_campaign(2)
+    assert serial.summary_bytes() == parallel.summary_bytes()
+
+
+@pytest.mark.skipif((os.cpu_count() or 1) < 4, reason="needs >= 4 cores")
+def test_e7_campaign_parallel_speedup():
+    serial_s, _ = _timed_quick_campaign(1)
+    parallel_s, _ = _timed_quick_campaign(4)
+    assert parallel_s < serial_s / 2, (
+        f"expected >= 2x speedup at --jobs 4: serial {serial_s:.2f}s, "
+        f"parallel {parallel_s:.2f}s"
+    )
+
+
+def main():
+    from _harness import emit
+
+    cpus = os.cpu_count() or 1
+    jobs = min(4, cpus)
+    serial_s, _ = _timed_quick_campaign(1)
+    parallel_s, _ = _timed_quick_campaign(jobs)
+    speedup = serial_s / parallel_s if parallel_s else float("inf")
+    print(
+        f"[bench e7] campaign quick suite: serial {serial_s:.2f}s, "
+        f"--jobs {jobs} {parallel_s:.2f}s, speedup {speedup:.2f}x "
+        f"({cpus} core(s))"
+    )
+    if os.environ.get("BENCH_REQUIRE_SPEEDUP") == "1" and cpus >= 4:
+        assert speedup >= 2.0, (
+            f"parallel campaign speedup {speedup:.2f}x below the required 2x"
+        )
+    emit(
+        "e7",
+        {"campaign-quick-serial": lambda: _run_quick_campaign(1)},
+        repeats=1,
+        extra={
+            "campaign_jobs": jobs,
+            "campaign_serial_s": round(serial_s, 6),
+            "campaign_parallel_s": round(parallel_s, 6),
+            "campaign_speedup": round(speedup, 3),
+        },
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Parallel experiment campaigns.
+
+The paper's experiments E1-E7 are embarrassingly parallel over their
+``(k, n)`` grids.  This package turns each experiment suite into a
+:class:`~repro.campaign.spec.Campaign` — a grid of self-contained,
+deterministically seeded :class:`~repro.campaign.spec.UnitSpec` units —
+and executes it serially or on a process pool with identical results
+(see :mod:`repro.campaign.executor`), optionally persisting progress to
+a resumable JSONL result store (see :mod:`repro.campaign.store`, which
+documents the on-disk format).
+
+Typical use from an experiment module::
+
+    from ..campaign import run_experiment_campaign
+
+    def run_unit(unit):          # module-level => picklable
+        ...
+        return {"row": [...], "passed": True}
+
+    report = run_experiment_campaign("e3", "quick", run_unit, jobs=4)
+    for record in report.records:
+        ...
+
+and from the command line::
+
+    repro experiment e7 --jobs 4 --store results/
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from .executor import CampaignReport, ProgressCallback, Worker, run_campaign
+from .spec import Campaign, UnitSpec, build_campaign, derive_seed
+from .store import ResultStore
+
+__all__ = [
+    "Campaign",
+    "CampaignReport",
+    "ResultStore",
+    "UnitSpec",
+    "build_campaign",
+    "derive_seed",
+    "run_campaign",
+    "run_experiment_campaign",
+]
+
+
+def run_experiment_campaign(
+    experiment: str,
+    variant: str,
+    worker: Worker,
+    *,
+    jobs: int = 1,
+    store: Optional[Union[str, ResultStore]] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> CampaignReport:
+    """Build the campaign for an experiment suite and execute it.
+
+    ``store`` may be a :class:`ResultStore` or a root directory path; in
+    either case the run becomes resumable and writes ``summary.json``.
+    """
+    campaign = build_campaign(experiment, variant)
+    result_store = ResultStore(store) if isinstance(store, str) else store
+    return run_campaign(
+        campaign, worker, jobs=jobs, store=result_store, progress=progress
+    )

@@ -1,0 +1,277 @@
+"""Chunked, crash-tolerant campaign execution.
+
+The executor runs the units of a :class:`~repro.campaign.spec.Campaign`
+through a worker callable, either serially (``jobs == 1``) or on a
+:class:`concurrent.futures.ProcessPoolExecutor`.  Three properties are
+guaranteed:
+
+* **Determinism** — every unit depends only on its own spec (including
+  its stable seed), and results are aggregated in grid order, so serial
+  and parallel runs produce identical aggregates.
+* **Crash tolerance** — a worker *exception* is caught in the worker and
+  returned as an ``"error"`` record; a worker *process death* (signal,
+  ``os._exit``) breaks the pool, which the executor rebuilds before
+  retrying the affected units one by one, so a single poisoned unit is
+  recorded as ``"crashed"`` without losing the rest of the campaign.
+* **Resumability** — with a result store attached, units whose latest
+  stored record is a success are not re-executed.
+
+Workers must be module-level callables (picklable by reference) taking
+the unit dictionary and returning a JSON-serialisable payload.
+"""
+
+from __future__ import annotations
+
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .spec import Campaign, UnitSpec
+from .store import ResultStore
+
+__all__ = ["CampaignReport", "run_campaign", "execute_unit"]
+
+#: Worker signature: unit dict in, JSON-serialisable payload out.
+Worker = Callable[[Dict[str, object]], Dict[str, object]]
+
+#: Progress callback: (completed, total, latest record).
+ProgressCallback = Callable[[int, int, Dict[str, object]], None]
+
+
+@dataclass
+class CampaignReport:
+    """Outcome of one campaign execution.
+
+    Attributes:
+        campaign: the executed campaign.
+        records: one record per unit, sorted by grid index.
+        resumed: unit ids restored from the result store instead of run.
+        summary_path: path of the written aggregate (with a store only).
+    """
+
+    campaign: Campaign
+    records: List[Dict[str, object]] = field(default_factory=list)
+    resumed: List[str] = field(default_factory=list)
+    summary_path: Optional[str] = None
+
+    @property
+    def failures(self) -> List[Dict[str, object]]:
+        """Records of units that did not finish successfully."""
+        return [record for record in self.records if record.get("status") != "ok"]
+
+    @property
+    def payloads(self) -> List[Optional[Dict[str, object]]]:
+        """Worker payloads in grid order (``None`` for failed units)."""
+        return [record.get("payload") for record in self.records]
+
+    def summary_bytes(self) -> bytes:
+        """Deterministic aggregate serialisation (see :class:`ResultStore`)."""
+        return ResultStore.summary_bytes(self.campaign, self.records)
+
+
+def execute_unit(worker: Worker, unit: Dict[str, object]) -> Dict[str, object]:
+    """Run one unit, converting worker exceptions into an error record."""
+    started = perf_counter()
+    record = dict(unit)
+    try:
+        payload = worker(unit)
+        record.update(status="ok", payload=payload, error=None)
+    except Exception as exc:  # noqa: BLE001 - error reporting is the point
+        record.update(
+            status="error",
+            payload=None,
+            error={
+                "type": type(exc).__name__,
+                "message": str(exc),
+                "traceback": traceback.format_exc(),
+            },
+        )
+    record["duration_s"] = perf_counter() - started
+    return record
+
+
+def _execute_chunk(
+    worker: Worker, units: Sequence[Dict[str, object]]
+) -> List[Dict[str, object]]:
+    """Run a chunk of units inside one worker process (reduces IPC)."""
+    return [execute_unit(worker, unit) for unit in units]
+
+
+def _crashed_record(unit: Dict[str, object], message: str) -> Dict[str, object]:
+    record = dict(unit)
+    record.update(
+        status="crashed",
+        payload=None,
+        error={"type": "BrokenProcessPool", "message": message, "traceback": None},
+        duration_s=0.0,
+    )
+    return record
+
+
+def _chunked(
+    items: Sequence[UnitSpec], chunk_size: int
+) -> List[List[UnitSpec]]:
+    return [list(items[i : i + chunk_size]) for i in range(0, len(items), chunk_size)]
+
+
+class _Collector:
+    """Routes finished records to the report, the store and the callback."""
+
+    def __init__(
+        self,
+        report: CampaignReport,
+        store: Optional[ResultStore],
+        progress: Optional[ProgressCallback],
+        total: int,
+    ) -> None:
+        self._report = report
+        self._store = store
+        self._progress = progress
+        self._total = total
+        self._done = len(report.records)
+
+    def add(self, record: Dict[str, object]) -> None:
+        self._report.records.append(record)
+        if self._store is not None:
+            self._store.append(self._report.campaign.name, record)
+        self._done += 1
+        if self._progress is not None:
+            self._progress(self._done, self._total, record)
+
+
+def _run_parallel(
+    worker: Worker,
+    pending: List[UnitSpec],
+    jobs: int,
+    chunk_size: Optional[int],
+    collector: _Collector,
+) -> None:
+    if chunk_size is None:
+        # Aim for ~4 chunks per worker to balance scheduling slack
+        # against per-chunk pickling overhead.
+        chunk_size = max(1, len(pending) // (jobs * 4) or 1)
+    # Longest-processing-time-first: simulation cost grows with the
+    # step budget (samples * steps_factor * n * k), so scheduling the
+    # heaviest cells first keeps the makespan near the optimum instead
+    # of leaving the largest unit to run alone at the tail.
+    pending = sorted(
+        pending,
+        key=lambda u: u.samples * u.steps_factor * u.n * max(u.k, 1),
+        reverse=True,
+    )
+    chunks = _chunked(pending, chunk_size)
+    pool = ProcessPoolExecutor(max_workers=jobs)
+    try:
+        futures = {
+            pool.submit(_execute_chunk, worker, [u.as_dict() for u in chunk]): chunk
+            for chunk in chunks
+        }
+        while futures:
+            done, _ = wait(futures, return_when=FIRST_COMPLETED)
+            for future in done:
+                chunk = futures.pop(future, None)
+                if chunk is None:
+                    # Already re-assigned while recovering from a broken
+                    # pool earlier in this batch.
+                    continue
+                try:
+                    for record in future.result():
+                        collector.add(record)
+                except BrokenProcessPool:
+                    # The pool is poisoned: rebuild it, then isolate the
+                    # crashing unit by retrying the chunk one unit at a
+                    # time.  Chunks that already finished keep their
+                    # results; only genuinely in-flight chunks re-run.
+                    survivors = []
+                    for other in list(futures):
+                        other_chunk = futures.pop(other)
+                        harvested = False
+                        if other.done():
+                            try:
+                                for record in other.result():
+                                    collector.add(record)
+                                harvested = True
+                            except BrokenProcessPool:
+                                pass
+                        if not harvested:
+                            survivors.append(other_chunk)
+                    pool.shutdown(wait=False)
+                    pool = ProcessPoolExecutor(max_workers=jobs)
+                    for unit in chunk:
+                        retry = pool.submit(execute_unit, worker, unit.as_dict())
+                        try:
+                            collector.add(retry.result())
+                        except BrokenProcessPool:
+                            collector.add(
+                                _crashed_record(
+                                    unit.as_dict(),
+                                    "worker process died while executing this unit",
+                                )
+                            )
+                            pool.shutdown(wait=False)
+                            pool = ProcessPoolExecutor(max_workers=jobs)
+                    for chunk_ in survivors:
+                        futures[
+                            pool.submit(
+                                _execute_chunk, worker, [u.as_dict() for u in chunk_]
+                            )
+                        ] = chunk_
+    finally:
+        pool.shutdown(wait=True)
+
+
+def run_campaign(
+    campaign: Campaign,
+    worker: Worker,
+    *,
+    jobs: int = 1,
+    store: Optional[ResultStore] = None,
+    progress: Optional[ProgressCallback] = None,
+    chunk_size: Optional[int] = None,
+) -> CampaignReport:
+    """Execute every unit of ``campaign`` through ``worker``.
+
+    Args:
+        campaign: the work grid.
+        worker: module-level callable (picklable) run once per unit.
+        jobs: number of worker processes; ``1`` runs in-process.
+        store: optional result store enabling resume and persistence.
+        progress: optional callback invoked after every finished unit.
+        chunk_size: units per process-pool task; defaults to roughly
+            four chunks per worker.
+
+    Returns:
+        The report with records sorted by grid index.  When a store is
+        attached the aggregate ``summary.json`` has been written.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    report = CampaignReport(campaign=campaign)
+
+    pending: List[UnitSpec] = []
+    if store is not None:
+        restored = store.latest_records(campaign.name)
+        for unit in campaign.units:
+            record = restored.get(unit.unit_id)
+            if record is not None and record.get("status") == "ok":
+                report.records.append(record)
+                report.resumed.append(unit.unit_id)
+            else:
+                pending.append(unit)
+    else:
+        pending = list(campaign.units)
+
+    collector = _Collector(report, store, progress, total=campaign.num_units)
+    if jobs == 1 or len(pending) <= 1:
+        for unit in pending:
+            collector.add(execute_unit(worker, unit.as_dict()))
+    else:
+        _run_parallel(worker, pending, jobs, chunk_size, collector)
+
+    report.records.sort(key=lambda record: record.get("index", 0))
+    if store is not None:
+        report.summary_path = store.write_summary(campaign, report.records)
+    return report

@@ -1,0 +1,188 @@
+"""Resumable on-disk result store for campaigns.
+
+Layout (documented here because this *is* the interchange format)::
+
+    <root>/
+      <campaign-name>/              e.g. e7-quick/
+        shard-0000.jsonl            append-only unit records
+        shard-0001.jsonl            (rotated every ``shard_size`` records)
+        ...
+        summary.json                deterministic aggregate (see below)
+
+**Shards** hold one JSON object per line, appended as units finish, in
+completion order (which differs between serial and parallel runs).  A
+record carries the full unit spec plus::
+
+    {"unit_id": ..., "index": ..., "status": "ok"|"error"|"crashed",
+     "payload": <worker dict or null>, "error": <info dict or null>,
+     "duration_s": <float>}
+
+``status == "error"`` means the worker raised (the traceback is kept in
+``error``); ``"crashed"`` means the worker *process* died (signal,
+``os._exit``) and the unit could not be completed even in isolation.
+A torn trailing line (interrupted write) is ignored on load, which is
+what makes interrupt-and-resume safe.  When a unit appears in several
+shards (e.g. an error that succeeded after a resume) the *last* record
+wins.
+
+**summary.json** is the aggregate: campaign metadata plus all unit
+records sorted by grid index, with the non-deterministic bookkeeping
+fields (``duration_s``) stripped and serialised with sorted keys and
+fixed separators — so a serial and a parallel run of the same campaign
+produce *byte-identical* summaries.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List
+
+from .spec import Campaign
+
+__all__ = ["ResultStore"]
+
+#: Record fields excluded from the deterministic aggregate summary.
+_NON_DETERMINISTIC_FIELDS = ("duration_s",)
+
+
+def _clean(record: Dict[str, object]) -> Dict[str, object]:
+    return {k: v for k, v in record.items() if k not in _NON_DETERMINISTIC_FIELDS}
+
+
+class ResultStore:
+    """Append-only JSONL shards plus a deterministic aggregate summary.
+
+    Args:
+        root: directory holding one sub-directory per campaign.
+        shard_size: number of records per shard file.
+    """
+
+    def __init__(self, root: str, shard_size: int = 64) -> None:
+        if shard_size < 1:
+            raise ValueError("shard_size must be >= 1")
+        self.root = root
+        self.shard_size = shard_size
+        self._counts: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # paths
+    # ------------------------------------------------------------------ #
+    def campaign_dir(self, campaign_name: str) -> str:
+        """Directory holding the shards and summary of one campaign."""
+        return os.path.join(self.root, campaign_name)
+
+    def summary_path(self, campaign_name: str) -> str:
+        """Path of the aggregate summary file."""
+        return os.path.join(self.campaign_dir(campaign_name), "summary.json")
+
+    def _shard_path(self, campaign_name: str, shard: int) -> str:
+        return os.path.join(self.campaign_dir(campaign_name), f"shard-{shard:04d}.jsonl")
+
+    def _shard_paths(self, campaign_name: str) -> List[str]:
+        directory = self.campaign_dir(campaign_name)
+        if not os.path.isdir(directory):
+            return []
+        names = sorted(
+            name
+            for name in os.listdir(directory)
+            if name.startswith("shard-") and name.endswith(".jsonl")
+        )
+        return [os.path.join(directory, name) for name in names]
+
+    # ------------------------------------------------------------------ #
+    # reading
+    # ------------------------------------------------------------------ #
+    def iter_records(self, campaign_name: str) -> List[Dict[str, object]]:
+        """All raw records across shards, tolerant of a torn trailing line."""
+        records: List[Dict[str, object]] = []
+        for path in self._shard_paths(campaign_name):
+            with open(path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        records.append(json.loads(line))
+                    except json.JSONDecodeError:
+                        # Interrupted mid-write: drop the torn line and
+                        # let a resumed run recompute that unit.
+                        continue
+        return records
+
+    def latest_records(self, campaign_name: str) -> Dict[str, Dict[str, object]]:
+        """Last record per unit id (later shards/lines override earlier ones)."""
+        latest: Dict[str, Dict[str, object]] = {}
+        for record in self.iter_records(campaign_name):
+            unit_id = record.get("unit_id")
+            if isinstance(unit_id, str):
+                latest[unit_id] = record
+        return latest
+
+    def completed_unit_ids(self, campaign_name: str) -> List[str]:
+        """Units whose latest record is a success (skipped on resume)."""
+        return [
+            unit_id
+            for unit_id, record in self.latest_records(campaign_name).items()
+            if record.get("status") == "ok"
+        ]
+
+    # ------------------------------------------------------------------ #
+    # writing
+    # ------------------------------------------------------------------ #
+    def append(self, campaign_name: str, record: Dict[str, object]) -> None:
+        """Append one record to the campaign's current shard (flushes)."""
+        directory = self.campaign_dir(campaign_name)
+        os.makedirs(directory, exist_ok=True)
+        if campaign_name not in self._counts:
+            self._counts[campaign_name] = len(self.iter_records(campaign_name))
+        count = self._counts[campaign_name]
+        path = self._shard_path(campaign_name, count // self.shard_size)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._counts[campaign_name] = count + 1
+
+    # ------------------------------------------------------------------ #
+    # aggregate summary
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def summary_document(
+        campaign: Campaign, records: List[Dict[str, object]]
+    ) -> Dict[str, object]:
+        """The aggregate summary document (deterministic content)."""
+        ordered = sorted(
+            (_clean(record) for record in records),
+            key=lambda record: record.get("index", 0),
+        )
+        failed = [r["unit_id"] for r in ordered if r.get("status") != "ok"]
+        return {
+            "campaign": campaign.name,
+            "experiment": campaign.experiment,
+            "variant": campaign.variant,
+            "description": campaign.description,
+            "num_units": campaign.num_units,
+            "num_completed": len(ordered),
+            "failed_units": failed,
+            "units": ordered,
+        }
+
+    @staticmethod
+    def summary_bytes(campaign: Campaign, records: List[Dict[str, object]]) -> bytes:
+        """Deterministic serialisation of the aggregate summary."""
+        document = ResultStore.summary_document(campaign, records)
+        return (
+            json.dumps(document, sort_keys=True, indent=2, separators=(",", ": ")) + "\n"
+        ).encode("utf-8")
+
+    def write_summary(
+        self, campaign: Campaign, records: List[Dict[str, object]]
+    ) -> str:
+        """Write ``summary.json`` for the campaign; returns its path."""
+        os.makedirs(self.campaign_dir(campaign.name), exist_ok=True)
+        path = self.summary_path(campaign.name)
+        payload = self.summary_bytes(campaign, records)
+        with open(path, "wb") as handle:
+            handle.write(payload)
+        return path

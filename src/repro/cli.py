@@ -51,8 +51,10 @@ def build_parser() -> argparse.ArgumentParser:
     exp = sub.add_parser("experiment", help="run one experiment (e1..e7)")
     exp.add_argument("name", choices=sorted(EXPERIMENTS))
     exp.add_argument("--full", action="store_true", help="run the full (slow) variant")
+    _add_campaign_arguments(exp)
 
-    sub.add_parser("all", help="run every experiment (quick variants)")
+    run_all = sub.add_parser("all", help="run every experiment (quick variants)")
+    _add_campaign_arguments(run_all)
 
     cen = sub.add_parser("census", help="configuration census for one (k, n)")
     cen.add_argument("n", type=int)
@@ -72,20 +74,57 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _run_experiment(name: str, full: bool, out) -> int:
-    result = EXPERIMENTS[name]("full" if full else "quick")
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _add_campaign_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="worker processes for the experiment campaign (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="result-store directory (enables resume and writes JSONL shards + summary.json)",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print per-unit campaign progress to stderr",
+    )
+
+
+def _progress_printer(done: int, total: int, record) -> None:
+    print(
+        f"[{done}/{total}] {record.get('campaign')} {record.get('unit_id')} "
+        f"{record.get('status')} ({record.get('duration_s', 0.0):.2f}s)",
+        file=sys.stderr,
+    )
+
+
+def _run_experiment(name: str, full: bool, out, jobs: int = 1, store=None, progress: bool = False) -> int:
+    kwargs = {"jobs": jobs, "store": store}
+    if progress:
+        kwargs["progress"] = _progress_printer
+    result = EXPERIMENTS[name]("full" if full else "quick", **kwargs)
     print(result.render(), file=out)
     return 0 if result.passed else 1
 
 
-def _run_all(out) -> int:
+def _run_all(out, jobs: int = 1, store=None, progress: bool = False) -> int:
     status = 0
     for name in sorted(EXPERIMENTS):
-        result = EXPERIMENTS[name]("quick")
-        print(result.render(), file=out)
-        print("", file=out)
-        if not result.passed:
+        if _run_experiment(name, False, out, jobs=jobs, store=store, progress=progress):
             status = 1
+        print("", file=out)
     return status
 
 
@@ -139,9 +178,12 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.command == "experiment":
-        return _run_experiment(args.name, args.full, out)
+        return _run_experiment(
+            args.name, args.full, out,
+            jobs=args.jobs, store=args.store, progress=args.progress,
+        )
     if args.command == "all":
-        return _run_all(out)
+        return _run_all(out, jobs=args.jobs, store=args.store, progress=args.progress)
     if args.command == "census":
         return _run_census(args.n, args.k, out)
     if args.command == "feasibility":

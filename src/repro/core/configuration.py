@@ -87,7 +87,7 @@ class Configuration:
             contains negative entries, or holds no robot at all.
     """
 
-    __slots__ = ("_counts", "_n", "_k", "_support", "_gap_cache", "_hash")
+    __slots__ = ("_counts", "_n", "_k", "_support", "_gap_cache", "_hash", "_memo")
 
     def __init__(self, counts: Sequence[int]) -> None:
         counts_t = tuple(int(c) for c in counts)
@@ -105,6 +105,19 @@ class Configuration:
         self._support: Tuple[int, ...] = tuple(i for i, c in enumerate(counts_t) if c > 0)
         self._gap_cache: Optional[Tuple[Tuple[int, ...], Tuple[int, ...]]] = None
         self._hash: Optional[int] = None
+        self._memo: Dict[str, object] = {}
+
+    def _memoised(self, key: str, compute):
+        """Cache a derived quantity on the (immutable) configuration.
+
+        Sits alongside ``_gap_cache``/``_hash``: derived quantities only
+        depend on ``_counts``, so they are computed at most once per
+        instance.  Only immutable values may be stored.
+        """
+        memo = self._memo
+        if key not in memo:
+            memo[key] = compute()
+        return memo[key]
 
     # ------------------------------------------------------------------ #
     # constructors
@@ -256,8 +269,11 @@ class Configuration:
         follows the "wrap-around" empty run; if every node is occupied the
         single block starts at node 0.
         """
+        return list(self._memoised("blocks", self._compute_blocks))
+
+    def _compute_blocks(self) -> Tuple[Block, ...]:
         if len(self._support) == self._n:
-            return [Block(range(self._n))]
+            return (Block(range(self._n)),)
         gaps, nodes = self.gap_cycle()
         j = len(nodes)
         blocks: List[Block] = []
@@ -272,7 +288,7 @@ class Configuration:
                 current = []
         if current:  # pragma: no cover - defensive; loop always closes blocks
             blocks.append(Block(current))
-        return blocks
+        return tuple(blocks)
 
     def intervals(self) -> List[Interval]:
         """Maximal runs of empty nodes with their bounding occupied nodes.
@@ -280,6 +296,9 @@ class Configuration:
         Intervals of length zero (two adjacent occupied nodes) are
         included, matching the paper's definition.
         """
+        return list(self._memoised("intervals", self._compute_intervals))
+
+    def _compute_intervals(self) -> Tuple[Interval, ...]:
         gaps, nodes = self.gap_cycle()
         j = len(nodes)
         out: List[Interval] = []
@@ -288,7 +307,7 @@ class Configuration:
             after = nodes[(i + 1) % j]
             empties = [(before + 1 + t) % self._n for t in range(gaps[i])]
             out.append(Interval(empties, before=before, after=after))
-        return out
+        return tuple(out)
 
     def empty_nodes(self) -> Tuple[int, ...]:
         """All unoccupied nodes in increasing order."""
@@ -320,16 +339,24 @@ class Configuration:
 
     def supermin_view(self) -> Tuple[int, ...]:
         """The supermin configuration view :math:`W^C_{min}`."""
-        return _views.supermin_view(self.gaps())
+        return self._memoised("supermin_view", lambda: _views.supermin_view(self.gaps()))
 
     def supermin_anchors(self) -> List[Tuple[int, int]]:
         """All ``(node, direction)`` pairs whose directed view is the supermin."""
+        return list(self._memoised("supermin_anchors", self._compute_supermin_anchors))
+
+    def _compute_supermin_anchors(self) -> Tuple[Tuple[int, int], ...]:
         gaps, nodes = self.gap_cycle()
-        return [(nodes[idx], direction) for idx, direction in _views.supermin_anchors(gaps)]
+        return tuple(
+            (nodes[idx], direction) for idx, direction in _views.supermin_anchors(gaps)
+        )
 
     def supermin_interval_count(self) -> int:
         """:math:`|I_C|`, the number of supermin intervals (Lemma 1)."""
-        return len(_views.supermin_interval_indices(self.gaps()))
+        return self._memoised(
+            "supermin_interval_count",
+            lambda: len(_views.supermin_interval_indices(self.gaps())),
+        )
 
     # ------------------------------------------------------------------ #
     # symmetry / rigidity
@@ -337,12 +364,16 @@ class Configuration:
     @property
     def is_periodic(self) -> bool:
         """Invariant under a non-trivial rotation (Property 1.(i))."""
-        return is_rotationally_symmetric(self.gaps())
+        return self._memoised(
+            "is_periodic", lambda: is_rotationally_symmetric(self.gaps())
+        )
 
     @property
     def is_symmetric(self) -> bool:
         """Admits an axis of reflection (Property 1.(ii))."""
-        return is_reflectively_symmetric(self.gaps())
+        return self._memoised(
+            "is_symmetric", lambda: is_reflectively_symmetric(self.gaps())
+        )
 
     @property
     def is_rigid(self) -> bool:
@@ -351,7 +382,11 @@ class Configuration:
 
     def symmetry_axes(self) -> List[Axis]:
         """Geometric axes of reflection of the occupied set."""
-        return symmetry_axes(self._support, self._n)
+        return list(
+            self._memoised(
+                "symmetry_axes", lambda: tuple(symmetry_axes(self._support, self._n))
+            )
+        )
 
     # ------------------------------------------------------------------ #
     # canonical forms
@@ -362,7 +397,9 @@ class Configuration:
         Two exclusive configurations are indistinguishable on an anonymous
         unoriented ring iff their canonical gap cycles coincide.
         """
-        return canonical_dihedral(self.gaps())
+        return self._memoised(
+            "canonical_gaps", lambda: canonical_dihedral(self.gaps())
+        )
 
     def canonical_key(self) -> Tuple[int, Tuple[int, ...]]:
         """Hashable key identifying the configuration up to ring automorphism.
@@ -373,6 +410,9 @@ class Configuration:
         with local multiplicity detection is *not* attempted here — the
         key is exact on multiplicities so it stays a sound equality).
         """
+        return self._memoised("canonical_key", self._compute_canonical_key)
+
+    def _compute_canonical_key(self) -> Tuple[int, Tuple[int, ...]]:
         images = []
         counts = self._counts
         n = self._n

@@ -21,6 +21,7 @@ configuration enumeration in :mod:`repro.analysis.enumeration`.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import List, Sequence, Tuple, TypeVar
 
 __all__ = [
@@ -120,15 +121,37 @@ def canonical_rotation(seq: Sequence[T]) -> Tuple[T, ...]:
     return rotate(seq, min_rotation_index(seq))
 
 
+#: Size of the per-process canonical-form caches.  Census and feasibility
+#: experiments recompute canonical forms for millions of configurations
+#: drawn from a much smaller set of gap cycles, so a bounded LRU cache
+#: turns the dihedral minimisation into a dictionary lookup on the hot path.
+CANONICAL_CACHE_SIZE = 1 << 16
+
+
+def _canonical_dihedral_uncached(items: Tuple[T, ...]) -> Tuple[T, ...]:
+    forward = canonical_rotation(items)
+    backward = canonical_rotation(tuple(reversed(items)))
+    return min(forward, backward)
+
+
+@lru_cache(maxsize=CANONICAL_CACHE_SIZE)
+def _canonical_dihedral_cached(items: Tuple[T, ...]) -> Tuple[T, ...]:
+    return _canonical_dihedral_uncached(items)
+
+
 def canonical_dihedral(seq: Sequence[T]) -> Tuple[T, ...]:
     """The lexicographically minimal image under rotations and reflections.
 
     This is the canonical form used to identify configurations that are
-    indistinguishable on an anonymous, unoriented ring.
+    indistinguishable on an anonymous, unoriented ring.  Results are
+    memoised per process (see :data:`CANONICAL_CACHE_SIZE`); sequences
+    with unhashable elements fall back to the direct computation.
     """
-    forward = canonical_rotation(seq)
-    backward = canonical_rotation(tuple(reversed(tuple(seq))))
-    return min(forward, backward)
+    items = tuple(seq)
+    try:
+        return _canonical_dihedral_cached(items)
+    except TypeError:  # unhashable elements: compute without the cache
+        return _canonical_dihedral_uncached(items)
 
 
 def smallest_period(seq: Sequence[T]) -> int:
@@ -140,6 +163,13 @@ def smallest_period(seq: Sequence[T]) -> int:
     has period ``0``.
     """
     items = tuple(seq)
+    try:
+        return _smallest_period_cached(items)
+    except TypeError:  # unhashable elements: compute without the cache
+        return _smallest_period_uncached(items)
+
+
+def _smallest_period_uncached(items: Tuple[T, ...]) -> int:
     n = len(items)
     if n == 0:
         return 0
@@ -149,6 +179,11 @@ def smallest_period(seq: Sequence[T]) -> int:
         if all(items[i] == items[(i + p) % n] for i in range(n)):
             return p
     return n  # pragma: no cover - unreachable, p == n always matches
+
+
+@lru_cache(maxsize=CANONICAL_CACHE_SIZE)
+def _smallest_period_cached(items: Tuple[T, ...]) -> int:
+    return _smallest_period_uncached(items)
 
 
 def is_rotationally_symmetric(seq: Sequence[T]) -> bool:
@@ -169,11 +204,23 @@ def reflection_matches(seq: Sequence[T]) -> List[int]:
     asymmetric.
     """
     items = tuple(seq)
+    try:
+        return list(_reflection_matches_cached(items))
+    except TypeError:  # unhashable elements: compute without the cache
+        return list(_reflection_matches_uncached(items))
+
+
+def _reflection_matches_uncached(items: Tuple[T, ...]) -> Tuple[int, ...]:
     n = len(items)
     if n == 0:
-        return []
+        return ()
     rev = tuple(reversed(items))
-    return [i for i in range(n) if rotate(items, i) == rev]
+    return tuple(i for i in range(n) if rotate(items, i) == rev)
+
+
+@lru_cache(maxsize=CANONICAL_CACHE_SIZE)
+def _reflection_matches_cached(items: Tuple[T, ...]) -> Tuple[int, ...]:
+    return _reflection_matches_uncached(items)
 
 
 def is_reflectively_symmetric(seq: Sequence[T]) -> bool:

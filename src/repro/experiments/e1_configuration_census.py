@@ -11,27 +11,20 @@ the figures, and reports the symmetry breakdown the proofs rely on
 from __future__ import annotations
 
 from ..analysis.enumeration import PAPER_FIGURE_COUNTS, census
-from ..workloads.suites import get_suite
+from ..campaign import run_experiment_campaign
 from .report import ExperimentResult
 
-__all__ = ["run"]
+__all__ = ["run", "run_unit"]
 
 
-def run(variant: str = "quick") -> ExperimentResult:
-    """Run E1 and return its result table."""
-    suite = get_suite("e1", variant)
-    result = ExperimentResult(
-        experiment="E1",
-        title="Configuration census per (k, n) — reproduces Figures 4-9",
-        header=("k", "n", "paper figure", "paper count", "measured", "rigid", "symmetric", "periodic", "match"),
-    )
-    for k, n in suite.pairs:
-        measured = census(n, k)
-        figure, expected = PAPER_FIGURE_COUNTS.get((k, n), ("-", None))
-        match = "yes" if expected is None or expected == measured.total else "NO"
-        if expected is not None and expected != measured.total:
-            result.passed = False
-        result.add_row(
+def run_unit(unit):
+    """Campaign worker: census one ``(k, n)`` cell against the paper count."""
+    k, n = unit["k"], unit["n"]
+    measured = census(n, k)
+    figure, expected = PAPER_FIGURE_COUNTS.get((k, n), ("-", None))
+    match = expected is None or expected == measured.total
+    return {
+        "row": [
             k,
             n,
             figure,
@@ -40,8 +33,21 @@ def run(variant: str = "quick") -> ExperimentResult:
             measured.rigid,
             measured.symmetric_aperiodic,
             measured.periodic,
-            match,
-        )
+            "yes" if match else "NO",
+        ],
+        "passed": match,
+    }
+
+
+def run(variant: str = "quick", jobs: int = 1, store=None, progress=None) -> ExperimentResult:
+    """Run E1 and return its result table."""
+    result = ExperimentResult(
+        experiment="E1",
+        title="Configuration census per (k, n) — reproduces Figures 4-9",
+        header=("k", "n", "paper figure", "paper count", "measured", "rigid", "symmetric", "periodic", "match"),
+    )
+    report = run_experiment_campaign("e1", variant, run_unit, jobs=jobs, store=store, progress=progress)
+    result.apply_campaign_report(report)
     result.add_note(
         "paper counts: Figure 4 (4,7)=4, Figure 5 (4,8)=8, Figure 6 (5,8)=5, "
         "Figure 7 (6,9)=7, Figure 8 (4,9)=10, Figure 9 (5,9)=10"

@@ -21,12 +21,12 @@ import random
 
 from ..algorithms.align import SPECIAL_SYMMETRIC_VIEW, AlignAlgorithm
 from ..analysis.metrics import summarize
+from ..campaign import run_experiment_campaign
 from ..simulator.engine import Simulator
 from ..workloads.generators import random_rigid_configuration, rigid_configurations
-from ..workloads.suites import get_suite
 from .report import ExperimentResult
 
-__all__ = ["run", "EXHAUSTIVE_LIMIT"]
+__all__ = ["run", "run_unit", "EXHAUSTIVE_LIMIT"]
 
 #: Ring sizes up to which every rigid configuration class is tried.
 EXHAUSTIVE_LIMIT = 13
@@ -35,46 +35,54 @@ EXHAUSTIVE_LIMIT = 13
 def _starting_configurations(n: int, k: int, samples: int, seed: int):
     if n <= EXHAUSTIVE_LIMIT:
         return rigid_configurations(n, k)
-    rng = random.Random(seed + 1000 * n + k)
+    rng = random.Random(seed)
     return [random_rigid_configuration(n, k, rng) for _ in range(samples)]
 
 
-def run(variant: str = "quick") -> ExperimentResult:
+def run_unit(unit):
+    """Campaign worker: check Theorem 1 on every start of one ``(k, n)`` cell."""
+    k, n = unit["k"], unit["n"]
+    starts = _starting_configurations(n, k, unit["samples"], unit["seed"])
+    reached = 0
+    invariant_ok = 0
+    move_counts = []
+    for configuration in starts:
+        engine = Simulator(AlignAlgorithm(), configuration)
+        trace = engine.run_until(
+            lambda sim: sim.configuration.is_c_star(), 30 * n * k + 200
+        )
+        ok_invariant = not trace.had_collision and trace.max_simultaneous_moves() <= 1
+        for intermediate in trace.configurations():
+            if not (
+                intermediate.is_rigid
+                or intermediate.supermin_view() == SPECIAL_SYMMETRIC_VIEW
+                or intermediate.is_c_star()
+            ):
+                ok_invariant = False
+        if trace.final_configuration.is_c_star():
+            reached += 1
+        if ok_invariant:
+            invariant_ok += 1
+        move_counts.append(trace.total_moves)
+    stats = summarize(move_counts)
+    passed = reached == len(starts) and invariant_ok == len(starts)
+    return {
+        "row": [
+            k, n, len(starts), reached, invariant_ok,
+            stats["min"], stats["mean"], stats["max"],
+        ],
+        "passed": passed,
+    }
+
+
+def run(variant: str = "quick", jobs: int = 1, store=None, progress=None) -> ExperimentResult:
     """Run E2 and return its result table."""
-    suite = get_suite("e2", variant)
     result = ExperimentResult(
         experiment="E2",
         title="Align convergence to C* (Theorem 1)",
         header=("k", "n", "starts", "reached C*", "invariant ok", "moves min", "moves mean", "moves max"),
     )
-    for k, n in suite.pairs:
-        starts = _starting_configurations(n, k, suite.samples_per_pair, suite.seed)
-        reached = 0
-        invariant_ok = 0
-        move_counts = []
-        for configuration in starts:
-            engine = Simulator(AlignAlgorithm(), configuration)
-            trace = engine.run_until(
-                lambda sim: sim.configuration.is_c_star(), 30 * n * k + 200
-            )
-            ok_invariant = not trace.had_collision and trace.max_simultaneous_moves() <= 1
-            for intermediate in trace.configurations():
-                if not (
-                    intermediate.is_rigid
-                    or intermediate.supermin_view() == SPECIAL_SYMMETRIC_VIEW
-                    or intermediate.is_c_star()
-                ):
-                    ok_invariant = False
-            if trace.final_configuration.is_c_star():
-                reached += 1
-            if ok_invariant:
-                invariant_ok += 1
-            move_counts.append(trace.total_moves)
-        stats = summarize(move_counts)
-        if reached != len(starts) or invariant_ok != len(starts):
-            result.passed = False
-        result.add_row(
-            k, n, len(starts), reached, invariant_ok, stats["min"], stats["mean"], stats["max"]
-        )
+    report = run_experiment_campaign("e2", variant, run_unit, jobs=jobs, store=store, progress=progress)
+    result.apply_campaign_report(report)
     result.add_note("expected shape: 100% of starts reach C*; moves grow like O(n * k)")
     return result

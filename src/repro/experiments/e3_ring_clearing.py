@@ -20,13 +20,13 @@ import random
 
 from ..algorithms.ring_clearing import RingClearingAlgorithm, ring_clearing_supported
 from ..analysis.metrics import clearing_metrics, summarize
+from ..campaign import run_experiment_campaign
 from ..simulator.engine import Simulator
 from ..tasks import ExplorationMonitor, SearchingMonitor
 from ..workloads.generators import random_rigid_configuration, rigid_configurations
-from ..workloads.suites import get_suite
 from .report import ExperimentResult
 
-__all__ = ["run", "run_single"]
+__all__ = ["run", "run_single", "run_unit"]
 
 
 def run_single(n: int, k: int, configuration, steps_factor: int = 30):
@@ -38,9 +38,49 @@ def run_single(n: int, k: int, configuration, steps_factor: int = 30):
     return searching, exploration, engine.trace
 
 
-def run(variant: str = "quick") -> ExperimentResult:
+def run_unit(unit):
+    """Campaign worker: verify Theorem 6 on every start of one ``(k, n)`` cell."""
+    k, n = unit["k"], unit["n"]
+    if not ring_clearing_supported(n, k):
+        return {"row": [k, n, 0, "-", "-", "-", "unsupported", "-"], "passed": True}
+    rng = random.Random(unit["seed"])
+    if n <= 12:
+        starts = rigid_configurations(n, k)[: max(unit["samples"], 3)]
+    else:
+        starts = [random_rigid_configuration(n, k, rng) for _ in range(unit["samples"])]
+    searching_ok = exploration_ok = 0
+    all_clear_events = []
+    periods = []
+    min_clearings = []
+    for configuration in starts:
+        searching, exploration, trace = run_single(n, k, configuration, unit["steps_factor"])
+        metrics = clearing_metrics(searching, exploration, trace)
+        if searching.every_edge_cleared(2) and not trace.had_collision:
+            searching_ok += 1
+        if exploration.all_robots_covered_ring(2):
+            exploration_ok += 1
+        all_clear_events.append(metrics.all_clear_count)
+        if metrics.moves_to_full_clear is not None:
+            periods.append(metrics.moves_to_full_clear)
+        min_clearings.append(metrics.min_clearings)
+    passed = searching_ok == len(starts) and exploration_ok == len(starts)
+    return {
+        "row": [
+            k,
+            n,
+            len(starts),
+            searching_ok,
+            exploration_ok,
+            summarize(all_clear_events)["mean"],
+            summarize(periods)["mean"] if periods else "-",
+            min(min_clearings) if min_clearings else "-",
+        ],
+        "passed": passed,
+    }
+
+
+def run(variant: str = "quick", jobs: int = 1, store=None, progress=None) -> ExperimentResult:
     """Run E3 and return its result table."""
-    suite = get_suite("e3", variant)
     result = ExperimentResult(
         experiment="E3",
         title="Ring Clearing: perpetual exclusive searching + exploration (Theorem 6)",
@@ -55,44 +95,8 @@ def run(variant: str = "quick") -> ExperimentResult:
             "min edge clearings",
         ),
     )
-    for k, n in suite.pairs:
-        if not ring_clearing_supported(n, k):
-            result.add_row(k, n, 0, "-", "-", "-", "unsupported", "-")
-            continue
-        rng = random.Random(suite.seed + 37 * n + k)
-        if n <= 12:
-            starts = rigid_configurations(n, k)[: max(suite.samples_per_pair, 3)]
-        else:
-            starts = [
-                random_rigid_configuration(n, k, rng) for _ in range(suite.samples_per_pair)
-            ]
-        searching_ok = exploration_ok = 0
-        all_clear_events = []
-        periods = []
-        min_clearings = []
-        for configuration in starts:
-            searching, exploration, trace = run_single(n, k, configuration, suite.steps_factor)
-            metrics = clearing_metrics(searching, exploration, trace)
-            if searching.every_edge_cleared(2) and not trace.had_collision:
-                searching_ok += 1
-            if exploration.all_robots_covered_ring(2):
-                exploration_ok += 1
-            all_clear_events.append(metrics.all_clear_count)
-            if metrics.moves_to_full_clear is not None:
-                periods.append(metrics.moves_to_full_clear)
-            min_clearings.append(metrics.min_clearings)
-        if searching_ok != len(starts) or exploration_ok != len(starts):
-            result.passed = False
-        result.add_row(
-            k,
-            n,
-            len(starts),
-            searching_ok,
-            exploration_ok,
-            summarize(all_clear_events)["mean"],
-            summarize(periods)["mean"] if periods else "-",
-            min(min_clearings) if min_clearings else "-",
-        )
+    report = run_experiment_campaign("e3", variant, run_unit, jobs=jobs, store=store, progress=progress)
+    result.apply_campaign_report(report)
     result.add_note(
         "expected shape: every start satisfies both tasks; the cost of the first full clearing "
         "grows with n (Align phase plus one tour of the phase-2 cycle)"

@@ -14,18 +14,55 @@ from ..algorithms.nminusthree import (
     final_configurations,
     nminusthree_supported,
 )
+from ..campaign import run_experiment_campaign
 from ..simulator.engine import Simulator
 from ..tasks import ExplorationMonitor, SearchingMonitor
 from ..workloads.generators import rigid_configurations
-from ..workloads.suites import get_suite
 from .report import ExperimentResult
 
-__all__ = ["run"]
+__all__ = ["run", "run_unit"]
 
 
-def run(variant: str = "quick") -> ExperimentResult:
+def run_unit(unit):
+    """Campaign worker: verify Theorem 7 / Lemma 9 on one ``(k, n)`` cell."""
+    k, n = unit["k"], unit["n"]
+    if not nminusthree_supported(n, k):
+        return {"row": [k, n, 0, "-", "-", "-", "unsupported"], "passed": True}
+    starts = rigid_configurations(n, k)
+    if len(starts) > 12:
+        starts = starts[:12]
+    finals = set(final_configurations(k))
+    reach_final = searching_ok = exploration_ok = 0
+    all_clear_events = 0
+    for configuration in starts:
+        searching = SearchingMonitor()
+        exploration = ExplorationMonitor()
+        engine = Simulator(
+            NminusThreeAlgorithm(), configuration, monitors=[searching, exploration]
+        )
+        engine.run(unit["steps_factor"] * n * k)
+        structures = [
+            three_empty_structure(c).sorted_sizes
+            for c in engine.trace.configurations()
+        ]
+        if any(s in finals for s in structures):
+            reach_final += 1
+        if searching.every_edge_cleared(2) and not engine.trace.had_collision:
+            searching_ok += 1
+        if exploration.all_robots_covered_ring(2):
+            exploration_ok += 1
+        all_clear_events += len(searching.all_clear_steps)
+    passed = reach_final == searching_ok == exploration_ok == len(starts)
+    return {
+        "row": [
+            k, n, len(starts), reach_final, searching_ok, exploration_ok, all_clear_events
+        ],
+        "passed": passed,
+    }
+
+
+def run(variant: str = "quick", jobs: int = 1, store=None, progress=None) -> ExperimentResult:
     """Run E4 and return its result table."""
-    suite = get_suite("e4", variant)
     result = ExperimentResult(
         experiment="E4",
         title="NminusThree: perpetual searching + exploration for k = n - 3 (Theorem 7, Lemma 9)",
@@ -39,38 +76,7 @@ def run(variant: str = "quick") -> ExperimentResult:
             "all-clear events",
         ),
     )
-    for k, n in suite.pairs:
-        if not nminusthree_supported(n, k):
-            result.add_row(k, n, 0, "-", "-", "-", "unsupported")
-            continue
-        starts = rigid_configurations(n, k)
-        if len(starts) > 12:
-            starts = starts[:12]
-        finals = set(final_configurations(k))
-        reach_final = searching_ok = exploration_ok = 0
-        all_clear_events = 0
-        for configuration in starts:
-            searching = SearchingMonitor()
-            exploration = ExplorationMonitor()
-            engine = Simulator(
-                NminusThreeAlgorithm(), configuration, monitors=[searching, exploration]
-            )
-            engine.run(suite.steps_factor * n * k)
-            structures = [
-                three_empty_structure(c).sorted_sizes
-                for c in engine.trace.configurations()
-            ]
-            if any(s in finals for s in structures):
-                reach_final += 1
-            if searching.every_edge_cleared(2) and not engine.trace.had_collision:
-                searching_ok += 1
-            if exploration.all_robots_covered_ring(2):
-                exploration_ok += 1
-            all_clear_events += len(searching.all_clear_steps)
-        if not (reach_final == searching_ok == exploration_ok == len(starts)):
-            result.passed = False
-        result.add_row(
-            k, n, len(starts), reach_final, searching_ok, exploration_ok, all_clear_events
-        )
+    report = run_experiment_campaign("e4", variant, run_unit, jobs=jobs, store=store, progress=progress)
+    result.apply_campaign_report(report)
     result.add_note("expected shape: all starts pass; the dedicated algorithm covers k = n - 3, which Ring Clearing does not")
     return result

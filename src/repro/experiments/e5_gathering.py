@@ -15,13 +15,13 @@ import random
 from ..algorithms.baselines import GreedyGatherBaseline
 from ..algorithms.gathering import GatheringAlgorithm, gathering_supported
 from ..analysis.metrics import summarize
+from ..campaign import run_experiment_campaign
 from ..simulator.engine import Simulator
 from ..simulator.runner import run_gathering
 from ..workloads.generators import random_rigid_configuration, rigid_configurations
-from ..workloads.suites import get_suite
 from .report import ExperimentResult
 
-__all__ = ["run", "EXHAUSTIVE_LIMIT"]
+__all__ = ["run", "run_unit", "EXHAUSTIVE_LIMIT"]
 
 #: Ring sizes up to which every rigid configuration class is tried.
 EXHAUSTIVE_LIMIT = 12
@@ -30,7 +30,7 @@ EXHAUSTIVE_LIMIT = 12
 def _starting_configurations(n: int, k: int, samples: int, seed: int):
     if n <= EXHAUSTIVE_LIMIT:
         return rigid_configurations(n, k)
-    rng = random.Random(seed + 977 * n + k)
+    rng = random.Random(seed)
     return [random_rigid_configuration(n, k, rng) for _ in range(samples)]
 
 
@@ -46,9 +46,41 @@ def _baseline_gathers(configuration, budget: int) -> bool:
     return engine.configuration.num_occupied == 1
 
 
-def run(variant: str = "quick") -> ExperimentResult:
+def run_unit(unit):
+    """Campaign worker: gather from every start of one ``(k, n)`` cell."""
+    k, n = unit["k"], unit["n"]
+    if not gathering_supported(n, k):
+        return {"row": [k, n, 0, "unsupported", "-", "-", "-", "-"], "passed": True}
+    starts = _starting_configurations(n, k, unit["samples"], unit["seed"])
+    gathered = 0
+    baseline_gathered = 0
+    move_counts = []
+    budget = 30 * n * k + 200
+    for configuration in starts:
+        trace, engine = run_gathering(GatheringAlgorithm(), configuration, max_steps=budget)
+        if trace.final_configuration.num_occupied == 1:
+            gathered += 1
+        move_counts.append(trace.total_moves)
+        if _baseline_gathers(configuration, budget):
+            baseline_gathered += 1
+    stats = summarize(move_counts)
+    return {
+        "row": [
+            k,
+            n,
+            len(starts),
+            gathered,
+            baseline_gathered,
+            stats["min"],
+            stats["mean"],
+            stats["max"],
+        ],
+        "passed": gathered == len(starts),
+    }
+
+
+def run(variant: str = "quick", jobs: int = 1, store=None, progress=None) -> ExperimentResult:
     """Run E5 and return its result table."""
-    suite = get_suite("e5", variant)
     result = ExperimentResult(
         experiment="E5",
         title="Gathering with local multiplicity detection (Theorem 8) vs greedy baseline",
@@ -63,35 +95,8 @@ def run(variant: str = "quick") -> ExperimentResult:
             "moves max",
         ),
     )
-    for k, n in suite.pairs:
-        if not gathering_supported(n, k):
-            result.add_row(k, n, 0, "unsupported", "-", "-", "-", "-")
-            continue
-        starts = _starting_configurations(n, k, suite.samples_per_pair, suite.seed)
-        gathered = 0
-        baseline_gathered = 0
-        move_counts = []
-        budget = 30 * n * k + 200
-        for configuration in starts:
-            trace, engine = run_gathering(GatheringAlgorithm(), configuration, max_steps=budget)
-            if trace.final_configuration.num_occupied == 1:
-                gathered += 1
-            move_counts.append(trace.total_moves)
-            if _baseline_gathers(configuration, budget):
-                baseline_gathered += 1
-        stats = summarize(move_counts)
-        if gathered != len(starts):
-            result.passed = False
-        result.add_row(
-            k,
-            n,
-            len(starts),
-            gathered,
-            baseline_gathered,
-            stats["min"],
-            stats["mean"],
-            stats["max"],
-        )
+    report = run_experiment_campaign("e5", variant, run_unit, jobs=jobs, store=store, progress=progress)
+    result.apply_campaign_report(report)
     result.add_note(
         "expected shape: the paper's algorithm gathers from every rigid start; "
         "the greedy baseline fails on part of them"

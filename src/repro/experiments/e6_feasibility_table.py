@@ -18,13 +18,13 @@ from ..algorithms.nminusthree import NminusThreeAlgorithm, nminusthree_supported
 from ..algorithms.ring_clearing import RingClearingAlgorithm, ring_clearing_supported
 from ..analysis.feasibility import Feasibility, searching_feasibility
 from ..analysis.game import GameVerdict, searching_game_verdict
+from ..campaign import run_experiment_campaign
 from ..simulator.engine import Simulator
 from ..tasks import SearchingMonitor
 from ..workloads.generators import rigid_configurations
-from ..workloads.suites import get_suite
 from .report import ExperimentResult
 
-__all__ = ["run", "simulation_cross_check", "FEASIBLE_SAMPLE"]
+__all__ = ["run", "run_unit", "simulation_cross_check", "FEASIBLE_SAMPLE"]
 
 #: Feasible cells cross-checked by simulation in the quick variant.
 FEASIBLE_SAMPLE = ((6, 11), (7, 12), (7, 10), (9, 12))
@@ -45,26 +45,36 @@ def simulation_cross_check(k: int, n: int, steps_factor: int = 30) -> bool:
     return searching.every_edge_cleared(2) and not engine.trace.had_collision
 
 
-def run(variant: str = "quick") -> ExperimentResult:
+def run_unit(unit):
+    """Campaign worker: game-solver cross-check for one infeasible cell."""
+    k, n = unit["k"], unit["n"]
+    verdict = searching_feasibility(n, k)
+    game = searching_game_verdict(n, k)
+    check = f"game: {game.verdict.value} ({game.algorithms_checked} algos)"
+    agrees = (
+        verdict.verdict is Feasibility.INFEASIBLE
+        and game.verdict is GameVerdict.IMPOSSIBLE
+    )
+    return {
+        "row": [
+            k, n, verdict.verdict.value, verdict.reference, check,
+            "yes" if agrees else "NO",
+        ],
+        "passed": agrees,
+    }
+
+
+def run(variant: str = "quick", jobs: int = 1, store=None, progress=None) -> ExperimentResult:
     """Run E6 and return its result table."""
-    suite = get_suite("e6", variant)
     result = ExperimentResult(
         experiment="E6",
         title="Exclusive perpetual graph searching: characterization and cross-checks",
         header=("k", "n", "paper verdict", "reference", "cross-check", "agrees"),
     )
-    # 1. Game-solver cross-checks on the smallest infeasible cells.
-    for k, n in suite.pairs:
-        verdict = searching_feasibility(n, k)
-        game = searching_game_verdict(n, k)
-        check = f"game: {game.verdict.value} ({game.algorithms_checked} algos)"
-        agrees = (
-            verdict.verdict is Feasibility.INFEASIBLE
-            and game.verdict is GameVerdict.IMPOSSIBLE
-        )
-        if not agrees:
-            result.passed = False
-        result.add_row(k, n, verdict.verdict.value, verdict.reference, check, "yes" if agrees else "NO")
+    # 1. Game-solver cross-checks on the smallest infeasible cells
+    #    (the grid part, run through the campaign layer).
+    report = run_experiment_campaign("e6", variant, run_unit, jobs=jobs, store=store, progress=progress)
+    result.apply_campaign_report(report)
     # 2. Simulation cross-checks on feasible cells.
     for k, n in FEASIBLE_SAMPLE:
         verdict = searching_feasibility(n, k)

@@ -18,14 +18,14 @@ from ..algorithms.gathering import GatheringAlgorithm, gathering_supported
 from ..algorithms.nminusthree import NminusThreeAlgorithm, nminusthree_supported
 from ..algorithms.ring_clearing import RingClearingAlgorithm, ring_clearing_supported
 from ..analysis.metrics import clearing_metrics, summarize
+from ..campaign import run_experiment_campaign
 from ..simulator.engine import Simulator
 from ..simulator.runner import run_gathering
 from ..tasks import SearchingMonitor
 from ..workloads.generators import random_rigid_configuration
-from ..workloads.suites import get_suite
 from .report import ExperimentResult
 
-__all__ = ["run"]
+__all__ = ["run", "run_unit"]
 
 
 def _align_moves(n: int, k: int, samples: int, seed: int) -> dict:
@@ -69,9 +69,41 @@ def _clearing_cost(n: int, k: int, samples: int, seed: int, steps_factor: int) -
     return summarize(costs)
 
 
-def run(variant: str = "quick") -> ExperimentResult:
+def _json_safe(value):
+    """NaN is not valid JSON; report missing measurements as ``"-"``."""
+    if isinstance(value, float) and value != value:
+        return "-"
+    return value
+
+
+def run_unit(unit):
+    """Campaign worker: measure the scaling quantities of one ``(k, n)`` cell."""
+    k, n = unit["k"], unit["n"]
+    samples, seed = unit["samples"], unit["seed"]
+    align_stats = _align_moves(n, k, samples, seed)
+    gather_stats = (
+        _gathering_moves(n, k, samples, seed)
+        if gathering_supported(n, k)
+        else {"mean": float("nan")}
+    )
+    cost_stats = _clearing_cost(n, k, max(2, samples // 2), seed, unit["steps_factor"])
+    cost_mean = _json_safe(cost_stats["mean"])
+    return {
+        "row": [
+            k,
+            n,
+            align_stats["mean"],
+            align_stats["mean"] / (n * k),
+            _json_safe(gather_stats["mean"]),
+            cost_mean,
+            (cost_mean / n) if isinstance(cost_mean, float) and cost_mean else "-",
+        ],
+        "passed": True,
+    }
+
+
+def run(variant: str = "quick", jobs: int = 1, store=None, progress=None) -> ExperimentResult:
     """Run E7 and return its result table."""
-    suite = get_suite("e7", variant)
     result = ExperimentResult(
         experiment="E7",
         title="Scaling: Align moves, gathering moves, full-clearing cost vs (k, n)",
@@ -85,26 +117,8 @@ def run(variant: str = "quick") -> ExperimentResult:
             "full clear moves / n",
         ),
     )
-    for k, n in suite.pairs:
-        align_stats = _align_moves(n, k, suite.samples_per_pair, suite.seed + n * 131 + k)
-        gather_stats = (
-            _gathering_moves(n, k, suite.samples_per_pair, suite.seed + n * 7 + k)
-            if gathering_supported(n, k)
-            else {"mean": float("nan")}
-        )
-        cost_stats = _clearing_cost(
-            n, k, max(2, suite.samples_per_pair // 2), suite.seed, suite.steps_factor
-        )
-        cost_mean = cost_stats["mean"]
-        result.add_row(
-            k,
-            n,
-            align_stats["mean"],
-            align_stats["mean"] / (n * k),
-            gather_stats["mean"],
-            cost_mean,
-            (cost_mean / n) if cost_mean == cost_mean and cost_mean else "-",
-        )
+    report = run_experiment_campaign("e7", variant, run_unit, jobs=jobs, store=store, progress=progress)
+    result.apply_campaign_report(report)
     result.add_note(
         "expected shape: align moves / (n*k) stays bounded by a small constant; "
         "the cost of the first full clearing stays within a small multiple of n"

@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, List, Sequence, Tuple
 
+from ..campaign import CampaignReport
+
 __all__ = ["ExperimentResult", "render_table"]
 
 
@@ -61,6 +63,34 @@ class ExperimentResult:
     def add_note(self, note: str) -> None:
         """Append one remark."""
         self.notes.append(note)
+
+    def apply_campaign_report(self, report: CampaignReport) -> None:
+        """Fold campaign unit records into this result (grid order).
+
+        Successful units contribute their ``payload["row"]`` (and their
+        ``payload["passed"]`` flag); failed or crashed units contribute
+        an error row and fail the experiment, so a worker crash is
+        visible in the table instead of silently dropping a cell.
+        """
+        for record in report.records:
+            payload = record.get("payload")
+            if record.get("status") == "ok" and isinstance(payload, dict):
+                self.add_row(*payload["row"])
+                if not payload.get("passed", True):
+                    self.passed = False
+            else:
+                error = record.get("error") or {}
+                self.add_row(
+                    record.get("k"),
+                    record.get("n"),
+                    f"{record.get('status', 'error').upper()}: "
+                    f"{error.get('type')}: {error.get('message')}",
+                )
+                self.passed = False
+        if report.resumed:
+            self.add_note(
+                f"{len(report.resumed)} unit(s) restored from the result store"
+            )
 
     def render(self) -> str:
         """Full plain-text report for this experiment."""

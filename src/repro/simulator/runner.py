@@ -35,6 +35,8 @@ def simulate(
     exclusive: bool = True,
     multiplicity_detection: bool = False,
     presentation_seed: Optional[int] = 0,
+    collision_policy: str = "raise",
+    chirality: bool = False,
     stop=None,
 ) -> Tuple[Trace, Simulator]:
     """Build a simulator, run it for ``steps`` steps and return trace + engine."""
@@ -47,6 +49,8 @@ def simulate(
         multiplicity_detection=multiplicity_detection,
         monitors=monitors,
         presentation_seed=presentation_seed,
+        collision_policy=collision_policy,
+        chirality=chirality,
     )
     trace = engine.run(steps, stop=stop)
     return trace, engine
@@ -63,6 +67,8 @@ def run_to_configuration(
     exclusive: bool = True,
     multiplicity_detection: bool = False,
     presentation_seed: Optional[int] = 0,
+    collision_policy: str = "raise",
+    chirality: bool = False,
 ) -> Tuple[Trace, Simulator]:
     """Run until the configuration satisfies ``goal`` (a predicate).
 
@@ -79,6 +85,8 @@ def run_to_configuration(
         multiplicity_detection=multiplicity_detection,
         monitors=monitors,
         presentation_seed=presentation_seed,
+        collision_policy=collision_policy,
+        chirality=chirality,
     )
     trace = engine.run_until(lambda sim: goal(sim.configuration), budget)
     return trace, engine
@@ -92,6 +100,7 @@ def run_gathering(
     max_steps: Optional[int] = None,
     monitors: Iterable[Monitor] = (),
     presentation_seed: Optional[int] = 0,
+    chirality: bool = False,
 ) -> Tuple[Trace, Simulator]:
     """Run a gathering algorithm until all robots share one node.
 
@@ -107,6 +116,7 @@ def run_gathering(
         multiplicity_detection=True,
         monitors=monitors,
         presentation_seed=presentation_seed,
+        chirality=chirality,
     )
     trace = engine.run_until(lambda sim: sim.configuration.num_occupied == 1, budget)
     return trace, engine

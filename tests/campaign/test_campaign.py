@@ -1,0 +1,180 @@
+"""Tests for the parallel experiment-campaign subsystem."""
+
+import json
+import os
+
+import pytest
+
+from repro.campaign import (
+    ResultStore,
+    build_campaign,
+    derive_seed,
+    run_campaign,
+    run_experiment_campaign,
+)
+from repro.experiments.e1_configuration_census import run_unit as e1_run_unit
+
+
+# Workers live at module level so the process pool can pickle them by
+# reference.
+def product_worker(unit):
+    return {"row": [unit["k"], unit["n"], unit["k"] * unit["n"]], "passed": True}
+
+
+def tagged_worker(unit):
+    return {"row": [unit["k"], unit["n"], "second-run"], "passed": True}
+
+
+def flaky_worker(unit):
+    if unit["k"] == 5:
+        raise ValueError(f"boom on {unit['unit_id']}")
+    return product_worker(unit)
+
+
+def crashing_worker(unit):
+    if unit["k"] == 5 and unit["n"] == 12:
+        os._exit(3)  # simulate a hard worker death (not an exception)
+    return product_worker(unit)
+
+
+class TestSpec:
+    def test_build_campaign_grid_matches_suite(self):
+        campaign = build_campaign("e7", "quick")
+        assert campaign.name == "e7-quick"
+        assert campaign.num_units == 6
+        assert [u.index for u in campaign.units] == list(range(6))
+        assert campaign.units[0].unit_id == "u000-k005-n012"
+
+    def test_unit_ids_unique_even_for_duplicate_pairs(self):
+        # The e7 full sweep contains (8, 30) twice (the n-sweep at fixed
+        # k and the k-sweep at fixed n); ids and seeds must not collide
+        # or resume would silently drop one grid cell.
+        campaign = build_campaign("e7", "full")
+        ids = [u.unit_id for u in campaign.units]
+        assert len(set(ids)) == len(ids)
+        duplicates = [u for u in campaign.units if (u.k, u.n) == (8, 30)]
+        assert len(duplicates) == 2
+        assert duplicates[0].seed != duplicates[1].seed
+
+    def test_seeds_are_stable_and_distinct(self):
+        campaign = build_campaign("e7", "quick")
+        again = build_campaign("e7", "quick")
+        assert [u.seed for u in campaign.units] == [u.seed for u in again.units]
+        assert len({u.seed for u in campaign.units}) == campaign.num_units
+        # Stable hash, not PYTHONHASHSEED-dependent hash():
+        assert derive_seed(1, "e7", "quick", 5, 12) == derive_seed(1, "e7", "quick", 5, 12)
+        assert derive_seed(1, "e7", "quick", 5, 12) != derive_seed(2, "e7", "quick", 5, 12)
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(KeyError):
+            build_campaign("e99")
+
+
+class TestDeterminism:
+    def test_serial_and_parallel_aggregates_are_byte_identical(self, tmp_path):
+        serial = run_experiment_campaign(
+            "e1", "quick", e1_run_unit, jobs=1, store=str(tmp_path / "serial")
+        )
+        parallel = run_experiment_campaign(
+            "e1", "quick", e1_run_unit, jobs=3, store=str(tmp_path / "parallel")
+        )
+        assert serial.summary_bytes() == parallel.summary_bytes()
+        with open(serial.summary_path, "rb") as f1, open(parallel.summary_path, "rb") as f2:
+            assert f1.read() == f2.read()
+
+    def test_records_come_back_in_grid_order(self):
+        report = run_campaign(build_campaign("e1", "quick"), product_worker, jobs=2)
+        assert [r["index"] for r in report.records] == list(range(6))
+        assert not report.failures
+
+
+class TestResume:
+    def test_resume_skips_completed_units(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        first = run_experiment_campaign(
+            "e7", "quick", flaky_worker, jobs=1, store=store
+        )
+        failed = {r["unit_id"] for r in first.failures}
+        assert failed  # k == 5 units errored
+        # Second run with a distinguishable worker: only the failed units
+        # are re-executed, completed ones come back verbatim from disk.
+        second = run_experiment_campaign(
+            "e7", "quick", tagged_worker, jobs=1, store=ResultStore(str(tmp_path))
+        )
+        assert set(second.resumed) == {
+            r["unit_id"] for r in first.records if r["status"] == "ok"
+        }
+        for record in second.records:
+            expected = "second-run" if record["unit_id"] in failed else record["k"] * record["n"]
+            assert record["payload"]["row"][2] == expected
+        assert not second.failures
+
+    def test_resume_tolerates_torn_shard_line(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        campaign = build_campaign("e1", "quick")
+        run_campaign(campaign, product_worker, store=store)
+        shard = os.path.join(store.campaign_dir(campaign.name), "shard-0000.jsonl")
+        with open(shard, "a", encoding="utf-8") as handle:
+            handle.write('{"unit_id": "k004-n0')  # interrupted mid-write
+        fresh = ResultStore(str(tmp_path))
+        assert len(fresh.completed_unit_ids(campaign.name)) == campaign.num_units
+        resumed = run_campaign(campaign, tagged_worker, store=fresh)
+        assert len(resumed.resumed) == campaign.num_units
+
+    def test_shards_rotate(self, tmp_path):
+        store = ResultStore(str(tmp_path), shard_size=2)
+        campaign = build_campaign("e1", "quick")
+        run_campaign(campaign, product_worker, store=store)
+        shards = [
+            name
+            for name in os.listdir(store.campaign_dir(campaign.name))
+            if name.startswith("shard-")
+        ]
+        assert len(shards) == 3  # 6 units / 2 per shard
+
+    def test_summary_document_strips_durations(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        campaign = build_campaign("e1", "quick")
+        report = run_campaign(campaign, product_worker, store=store)
+        with open(report.summary_path, "r", encoding="utf-8") as handle:
+            summary = json.load(handle)
+        assert summary["num_completed"] == campaign.num_units
+        assert all("duration_s" not in unit for unit in summary["units"])
+        # ... but the shards do keep the timing for humans to inspect.
+        assert all("duration_s" in r for r in store.iter_records(campaign.name))
+
+
+class TestFailureReporting:
+    def test_worker_exception_is_recorded_not_raised(self):
+        report = run_campaign(build_campaign("e7", "quick"), flaky_worker, jobs=1)
+        failed = [r for r in report.records if r["status"] == "error"]
+        assert failed and all(r["k"] == 5 for r in failed)
+        assert "boom" in failed[0]["error"]["message"]
+        assert "ValueError" in failed[0]["error"]["traceback"]
+        ok = [r for r in report.records if r["status"] == "ok"]
+        assert len(ok) + len(failed) == report.campaign.num_units
+
+    def test_worker_exception_in_parallel_mode(self):
+        report = run_campaign(build_campaign("e7", "quick"), flaky_worker, jobs=2)
+        assert {r["unit_id"] for r in report.failures} == {
+            r["unit_id"]
+            for r in run_campaign(
+                build_campaign("e7", "quick"), flaky_worker, jobs=1
+            ).failures
+        }
+
+    def test_worker_process_crash_survived(self):
+        # os._exit kills the worker process outright; the executor must
+        # rebuild the pool, isolate the poisoned unit and keep the rest.
+        report = run_campaign(
+            build_campaign("e7", "quick"), crashing_worker, jobs=2, chunk_size=2
+        )
+        assert len(report.records) == report.campaign.num_units
+        crashed = [r for r in report.records if r["status"] == "crashed"]
+        assert [r["unit_id"] for r in crashed] == ["u000-k005-n012"]
+        ok = [r for r in report.records if r["status"] == "ok"]
+        assert len(ok) == report.campaign.num_units - 1
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            run_campaign(build_campaign("e1", "quick"), product_worker, jobs=0)

@@ -1,0 +1,112 @@
+"""Caching must never change derived quantities.
+
+``Configuration`` memoises its derived quantities and ``repro.core.cyclic``
+keeps per-process LRU caches for the canonical forms.  These tests
+property-check the cached implementations against the uncached
+brute-force definitions on random configurations.
+"""
+
+import random
+
+from repro.core.configuration import Configuration
+from repro.core.cyclic import (
+    all_dihedral_images,
+    canonical_dihedral,
+    is_reflectively_symmetric,
+    is_rotationally_symmetric,
+    reflection_matches,
+    rotate,
+    smallest_period,
+)
+from repro.core.symmetry import symmetry_axes
+
+
+def _random_configurations(count, seed):
+    rng = random.Random(seed)
+    out = []
+    for _ in range(count):
+        n = rng.randrange(4, 16)
+        k = rng.randrange(1, n + 1)
+        out.append(Configuration.from_occupied(n, rng.sample(range(n), k)))
+    return out
+
+
+def _brute_canonical_dihedral(seq):
+    return min(all_dihedral_images(seq))
+
+
+def _brute_smallest_period(seq):
+    items = tuple(seq)
+    n = len(items)
+    for p in range(1, n + 1):
+        if n % p == 0 and rotate(items, p) == items:
+            return p
+    return n
+
+
+class TestCanonicalFormCaches:
+    def test_canonical_dihedral_matches_brute_force(self):
+        rng = random.Random(1)
+        for _ in range(300):
+            gaps = tuple(rng.randrange(0, 5) for _ in range(rng.randrange(1, 12)))
+            expected = _brute_canonical_dihedral(gaps)
+            # Ask twice: the second call exercises the cache-hit path.
+            assert canonical_dihedral(gaps) == expected
+            assert canonical_dihedral(gaps) == expected
+
+    def test_smallest_period_matches_brute_force(self):
+        rng = random.Random(2)
+        for _ in range(300):
+            gaps = tuple(rng.randrange(0, 3) for _ in range(rng.randrange(1, 13)))
+            expected = _brute_smallest_period(gaps)
+            assert smallest_period(gaps) == expected
+            assert smallest_period(gaps) == expected
+
+    def test_reflection_matches_returns_fresh_list(self):
+        gaps = (0, 1, 0, 1)
+        first = reflection_matches(gaps)
+        first.append(99)  # mutating the result must not poison the cache
+        assert 99 not in reflection_matches(gaps)
+
+    def test_unhashable_sequences_fall_back(self):
+        gaps = ([0], [1], [0], [1])
+        assert canonical_dihedral(gaps) == _brute_canonical_dihedral(gaps)
+        assert smallest_period(gaps) == 2
+        assert reflection_matches(gaps) != []
+
+
+class TestConfigurationMemoisation:
+    def test_derived_quantities_match_uncached_definitions(self):
+        for configuration in _random_configurations(150, seed=3):
+            gaps = configuration.gaps()
+            # Repeat every check twice so both the compute and the
+            # memo-hit paths are compared against the raw definitions.
+            for _ in range(2):
+                assert configuration.canonical_gaps() == _brute_canonical_dihedral(gaps)
+                assert configuration.is_periodic == is_rotationally_symmetric(gaps)
+                assert configuration.is_symmetric == is_reflectively_symmetric(gaps)
+                assert configuration.symmetry_axes() == symmetry_axes(
+                    configuration.support, configuration.n
+                )
+
+    def test_memoised_collections_are_fresh_copies(self):
+        configuration = Configuration.from_occupied(9, [0, 1, 4, 6])
+        blocks = configuration.blocks()
+        intervals = configuration.intervals()
+        anchors = configuration.supermin_anchors()
+        axes = configuration.symmetry_axes()
+        for collection in (blocks, intervals, anchors, axes):
+            collection.clear()
+        assert configuration.blocks() != []
+        assert configuration.intervals() != []
+        assert configuration.supermin_anchors() != []
+        assert configuration.symmetry_axes() == symmetry_axes(
+            configuration.support, configuration.n
+        )
+
+    def test_mutation_returns_instances_with_their_own_caches(self):
+        configuration = Configuration.from_occupied(10, [0, 2, 5, 6])
+        before = configuration.canonical_gaps()
+        moved = configuration.move_robot(0, 9)
+        assert configuration.canonical_gaps() == before
+        assert moved.canonical_gaps() == _brute_canonical_dihedral(moved.gaps())

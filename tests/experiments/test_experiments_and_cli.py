@@ -78,6 +78,27 @@ class TestCli:
         assert main(["experiment", "e1"], out=out) == 0
         assert "Figure 4" in out.getvalue()
 
+    def test_cli_experiment_parallel_jobs(self):
+        out = io.StringIO()
+        assert main(["experiment", "e1", "--jobs", "2"], out=out) == 0
+        assert "Figure 4" in out.getvalue()
+
+    def test_cli_experiment_store_resume(self, tmp_path):
+        store = str(tmp_path / "results")
+        first = io.StringIO()
+        assert main(["experiment", "e1", "--store", store], out=first) == 0
+        second = io.StringIO()
+        assert main(["experiment", "e1", "--store", store], out=second) == 0
+        assert "restored from the result store" in second.getvalue()
+        assert (tmp_path / "results" / "e1-quick" / "summary.json").exists()
+
+    def test_parser_campaign_arguments(self):
+        parser = build_parser()
+        args = parser.parse_args(["experiment", "e7", "--jobs", "4", "--store", "r", "--progress"])
+        assert args.jobs == 4 and args.store == "r" and args.progress
+        args = parser.parse_args(["all", "--jobs", "2"])
+        assert args.jobs == 2 and args.store is None
+
     def test_cli_demo_align(self):
         out = io.StringIO()
         assert main(["demo", "align", "12", "5", "--steps", "300"], out=out) == 0

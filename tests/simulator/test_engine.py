@@ -173,6 +173,55 @@ class TestRunHelpers:
         )
         assert trace.final_configuration.is_c_star()
 
+    def test_simulate_forwards_collision_policy_and_chirality(self):
+        cfg = Configuration.from_occupied(5, [0, 1, 3])
+        trace, engine = simulate(
+            AlwaysMoveFirstView(),
+            cfg,
+            steps=1,
+            collision_policy="record",
+            chirality=True,
+        )
+        assert engine.exclusive
+        assert trace.had_collision  # recorded instead of raising
+
+    def test_simulate_forwarded_collision_policy_is_validated(self):
+        cfg = Configuration.from_occupied(5, [0, 1, 3])
+        with pytest.raises(ValueError):
+            simulate(AlwaysMoveFirstView(), cfg, collision_policy="ignore")
+
+    def test_run_to_configuration_forwards_collision_policy_and_chirality(self):
+        # With chirality, SweepAlgorithm deterministically walks robots
+        # clockwise; "record" lets the blind mover pile up without raising.
+        cfg = Configuration.from_occupied(5, [0, 1, 3])
+        trace, engine = run_to_configuration(
+            AlwaysMoveFirstView(),
+            cfg,
+            lambda c: c.num_occupied == 2,
+            max_steps=1,
+            collision_policy="record",
+            chirality=True,
+        )
+        assert trace.had_collision
+        assert engine.configuration.num_occupied == 2
+
+    def test_run_gathering_forwards_chirality(self):
+        captured = []
+
+        class Capture(Algorithm):
+            name = "capture"
+
+            def compute(self, snapshot):
+                captured.append(snapshot.views[0])
+                return Decision.idle()
+
+        cfg = Configuration.from_occupied(9, [0, 1, 2, 4])
+        with pytest.raises(SimulationLimitError):  # idle robots never gather
+            run_gathering(Capture(), cfg, max_steps=40, chirality=True)
+        # With chirality the clockwise view is always presented first, so
+        # each robot reports a stable first view across activations.
+        assert len(set(captured)) <= 4
+
 
 class TestTraceQueries:
     def test_trace_moves_and_periods(self):

@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Compare BENCH_<exp>.json files against the committed baseline.
+
+Usage::
+
+    python tools/bench_compare.py BENCH_*.json                # warn-only
+    python tools/bench_compare.py --strict BENCH_*.json       # exit 1 on regressions
+    python tools/bench_compare.py --update BENCH_*.json       # rewrite the baseline
+
+The baseline (``benchmarks/baselines.json``) maps experiments to the
+median wall-time of each smoke workload.  A workload *regresses* when
+its current median exceeds ``threshold`` (default 1.25, i.e. +25%) times
+the baseline.  Because absolute timings vary wildly across machines the
+default mode only *warns* — CI surfaces the warnings in the job log —
+while ``--strict`` turns regressions into a non-zero exit code for
+environments with stable hardware.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+DEFAULT_BASELINE = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "benchmarks",
+    "baselines.json",
+)
+
+#: Workloads faster than this are pure noise; never flagged.
+MIN_COMPARABLE_S = 0.005
+
+
+def load_bench_files(paths):
+    """Load BENCH files into ``{experiment: {workload: median_s}}``."""
+    current = {}
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+        experiment = document["experiment"]
+        current[experiment] = {
+            name: data["median_s"] for name, data in document["workloads"].items()
+        }
+    return current
+
+
+def compare(baseline, current, threshold):
+    """Yield ``(experiment, workload, base_s, now_s, ratio)`` regressions."""
+    for experiment, workloads in sorted(current.items()):
+        base_workloads = baseline.get(experiment, {})
+        for name, now_s in sorted(workloads.items()):
+            base_s = base_workloads.get(name)
+            if base_s is None or base_s < MIN_COMPARABLE_S:
+                continue
+            ratio = now_s / base_s
+            if ratio > threshold:
+                yield experiment, name, base_s, now_s, ratio
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="+", help="BENCH_<exp>.json files to check")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE)
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=1.25,
+        help="regression ratio (default 1.25 = +25%%)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true", help="exit non-zero when a hot path regressed"
+    )
+    parser.add_argument(
+        "--update", action="store_true", help="rewrite the baseline from the given files"
+    )
+    args = parser.parse_args(argv)
+
+    current = load_bench_files(args.files)
+
+    if args.update:
+        with open(args.baseline, "w", encoding="utf-8") as handle:
+            json.dump(current, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    if not os.path.exists(args.baseline):
+        print(f"no baseline at {args.baseline}; run with --update first", file=sys.stderr)
+        return 0
+
+    with open(args.baseline, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+
+    regressions = list(compare(baseline, current, args.threshold))
+    for experiment, name, base_s, now_s, ratio in regressions:
+        print(
+            f"WARNING: {experiment}/{name} regressed {ratio:.2f}x "
+            f"(baseline {base_s:.3f}s -> current {now_s:.3f}s)"
+        )
+    checked = sum(len(w) for w in current.values())
+    print(f"bench-compare: {checked} workload(s) checked, {len(regressions)} regression(s)")
+    if regressions and args.strict:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
