@@ -6,6 +6,7 @@ from .enumeration import (
     census,
     count_configurations,
     enumerate_configurations,
+    iter_configurations,
 )
 from .feasibility import (
     CellVerdict,
@@ -13,6 +14,7 @@ from .feasibility import (
     exploration_feasibility,
     feasibility_table,
     gathering_feasibility,
+    iter_feasibility_table,
     searching_feasibility,
 )
 from .game import GameResult, GameVerdict, Option, SearchGameSolver, searching_game_verdict
@@ -26,6 +28,7 @@ from .metrics import (
 
 __all__ = [
     "enumerate_configurations",
+    "iter_configurations",
     "count_configurations",
     "census",
     "ConfigurationCensus",
@@ -36,6 +39,7 @@ __all__ = [
     "exploration_feasibility",
     "gathering_feasibility",
     "feasibility_table",
+    "iter_feasibility_table",
     "SearchGameSolver",
     "searching_game_verdict",
     "GameResult",

@@ -6,23 +6,31 @@ enumerating *all distinct configurations* of ``k`` robots on an
 anonymous, unoriented ring — and classifying them by symmetry.  This
 module regenerates those enumerations for arbitrary ``(k, n)``:
 
-* :func:`enumerate_configurations` lists one representative per
-  equivalence class (binary necklaces under the dihedral group);
+* :func:`iter_configurations` streams one representative per equivalence
+  class (binary necklaces under the dihedral group), generated
+  *directly* by the CAT-style fixed-sum necklace recursion of
+  :func:`repro.core.cyclic.iter_fixed_sum_bracelets` over gap cycles —
+  the cost is proportional to the number of classes produced, not to the
+  :math:`\\binom{n-1}{k-1}` placements the old combinations-plus-dedup
+  enumeration walked and threw away;
+* :func:`enumerate_configurations` is the materialised flavour;
 * :func:`census` aggregates counts (total, rigid, symmetric-aperiodic,
-  periodic), which experiment E1 compares against the figures.
+  periodic) from the stream, which experiment E1 compares against the
+  figures.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from itertools import combinations
 from typing import Dict, Iterator, List, Tuple
 
 from ..core.configuration import Configuration
+from ..core.cyclic import iter_fixed_sum_bracelets
 from ..core.errors import InvalidConfigurationError
 
 __all__ = [
     "enumerate_configurations",
+    "iter_configurations",
     "count_configurations",
     "ConfigurationCensus",
     "census",
@@ -41,43 +49,71 @@ PAPER_FIGURE_COUNTS: Dict[Tuple[int, int], Tuple[str, int]] = {
 }
 
 
-def enumerate_configurations(n: int, k: int, *, rigid_only: bool = False) -> List[Configuration]:
-    """One representative of every configuration class of ``k`` robots on ``n`` nodes.
+def _validate(n: int, k: int) -> None:
+    if n < 3:
+        raise InvalidConfigurationError(f"a ring needs at least 3 nodes, got n={n}")
+    if not 1 <= k <= n:
+        raise InvalidConfigurationError(f"k must satisfy 1 <= k <= n, got k={k}, n={n}")
+
+
+def _configuration_from_canonical_gaps(n: int, gaps: Tuple[int, ...]) -> Configuration:
+    """Build the representative placed at node 0, pre-seeding its gap cache.
+
+    ``gaps`` comes out of the bracelet generator already in dihedral
+    canonical form, so the nodes and the gap cycle of the representative
+    are known without any rescan of the counts vector.
+    """
+    counts = [0] * n
+    nodes = []
+    node = 0
+    for gap in gaps:
+        counts[node] = 1
+        nodes.append(node)
+        node += 1 + gap
+    configuration = Configuration.from_trusted_counts(tuple(counts))
+    configuration._gap_cache = (gaps, tuple(nodes))
+    return configuration
+
+
+def iter_configurations(n: int, k: int, *, rigid_only: bool = False) -> Iterator[Configuration]:
+    """Stream one representative per configuration class of ``k`` robots on ``n`` nodes.
 
     Two configurations are in the same class when one is the image of the
     other under a rotation or reflection of the ring.  Representatives
-    are returned in a deterministic order (sorted canonical gap cycles).
+    are yielded in increasing order of their canonical gap cycles — the
+    gap cycle of each representative (anchored at node 0) *is* its
+    dihedral canonical form.
 
     Args:
         n: ring size (``n >= 3``).
         k: number of robots (``1 <= k <= n``).
         rigid_only: keep only rigid (aperiodic and asymmetric) classes.
     """
-    if n < 3:
-        raise InvalidConfigurationError(f"a ring needs at least 3 nodes, got n={n}")
-    if not 1 <= k <= n:
-        raise InvalidConfigurationError(f"k must satisfy 1 <= k <= n, got k={k}, n={n}")
-    seen: Dict[Tuple[int, ...], Configuration] = {}
-    # Fix one robot at node 0: every class has a representative containing node 0.
-    for rest in combinations(range(1, n), k - 1):
-        configuration = Configuration.from_occupied(n, (0,) + rest)
-        key = configuration.canonical_gaps()
-        if key not in seen:
-            seen[key] = configuration
-    representatives = [seen[key] for key in sorted(seen)]
-    if rigid_only:
-        representatives = [c for c in representatives if c.is_rigid]
-    return representatives
+    _validate(n, k)  # eager: invalid (k, n) raises at the call site
+    return _iter_validated(n, k, rigid_only)
 
 
-def iter_configurations(n: int, k: int) -> Iterator[Configuration]:
-    """Iterator flavour of :func:`enumerate_configurations`."""
-    yield from enumerate_configurations(n, k)
+def _iter_validated(n: int, k: int, rigid_only: bool) -> Iterator[Configuration]:
+    for gaps in iter_fixed_sum_bracelets(k, n - k):
+        configuration = _configuration_from_canonical_gaps(n, gaps)
+        if rigid_only and not configuration.is_rigid:
+            continue
+        yield configuration
+
+
+def enumerate_configurations(n: int, k: int, *, rigid_only: bool = False) -> List[Configuration]:
+    """Materialised flavour of :func:`iter_configurations`."""
+    return list(iter_configurations(n, k, rigid_only=rigid_only))
 
 
 def count_configurations(n: int, k: int) -> int:
-    """Number of distinct configuration classes of ``k`` robots on ``n`` nodes."""
-    return len(enumerate_configurations(n, k))
+    """Number of distinct configuration classes of ``k`` robots on ``n`` nodes.
+
+    Counts gap-cycle classes straight off the generator, without building
+    any :class:`Configuration` object.
+    """
+    _validate(n, k)
+    return sum(1 for _ in iter_fixed_sum_bracelets(k, n - k))
 
 
 @dataclass(frozen=True)
@@ -107,9 +143,13 @@ class ConfigurationCensus:
 
 
 def census(n: int, k: int) -> ConfigurationCensus:
-    """Compute the symmetry census for ``k`` robots on an ``n``-node ring."""
+    """Compute the symmetry census for ``k`` robots on an ``n``-node ring.
+
+    Consumes the class stream directly; memory stays O(1) in the number
+    of classes.
+    """
     total = rigid = symmetric_aperiodic = periodic = 0
-    for configuration in enumerate_configurations(n, k):
+    for configuration in iter_configurations(n, k):
         total += 1
         if configuration.is_periodic:
             periodic += 1

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import List, Optional, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 from ..core.errors import InvalidConfigurationError
 
@@ -37,6 +37,7 @@ __all__ = [
     "exploration_feasibility",
     "gathering_feasibility",
     "feasibility_table",
+    "iter_feasibility_table",
 ]
 
 
@@ -142,10 +143,10 @@ def gathering_feasibility(n: int, k: int) -> CellVerdict:
     )
 
 
-def feasibility_table(
+def iter_feasibility_table(
     task: str, max_n: int, min_n: int = 3, ks: Optional[Tuple[int, ...]] = None
-) -> List[CellVerdict]:
-    """The full verdict table for one task over a range of ring sizes.
+) -> Iterator[CellVerdict]:
+    """Stream the verdict table for one task over a range of ring sizes.
 
     Args:
         task: ``"searching"``, ``"exploration"`` or ``"gathering"``.
@@ -159,13 +160,23 @@ def feasibility_table(
         "exploration": exploration_feasibility,
         "gathering": gathering_feasibility,
     }
-    if task not in functions:
+    if task not in functions:  # eager: a typo'd task raises at the call site
         raise ValueError(f"unknown task {task!r}; expected one of {sorted(functions)}")
-    fn = functions[task]
-    rows: List[CellVerdict] = []
+    return _iter_cells(functions[task], max_n, min_n, ks)
+
+
+def _iter_cells(
+    fn, max_n: int, min_n: int, ks: Optional[Tuple[int, ...]]
+) -> Iterator[CellVerdict]:
     for n in range(min_n, max_n + 1):
         for k in range(1, n + 1):
             if ks is not None and k not in ks:
                 continue
-            rows.append(fn(n, k))
-    return rows
+            yield fn(n, k)
+
+
+def feasibility_table(
+    task: str, max_n: int, min_n: int = 3, ks: Optional[Tuple[int, ...]] = None
+) -> List[CellVerdict]:
+    """Materialised flavour of :func:`iter_feasibility_table`."""
+    return list(iter_feasibility_table(task, max_n, min_n=min_n, ks=ks))

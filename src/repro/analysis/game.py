@@ -50,7 +50,7 @@ from ..core.configuration import Configuration
 from ..core.errors import SimulationLimitError, UnsupportedParametersError
 from ..core.ring import CCW, CW, Ring
 from ..tasks.searching import advance_clear_edges, guarded_edges
-from .enumeration import enumerate_configurations
+from .enumeration import enumerate_configurations, iter_configurations
 
 __all__ = ["Option", "GameVerdict", "GameResult", "SearchGameSolver", "searching_game_verdict"]
 
@@ -128,7 +128,7 @@ class SearchGameSolver:
     # ------------------------------------------------------------------ #
     def _collect_observation_classes(self) -> List[ObservationClass]:
         classes: Set[ObservationClass] = set()
-        for configuration in enumerate_configurations(self.n, self.k):
+        for configuration in iter_configurations(self.n, self.k):
             for node in configuration.support:
                 classes.add(self.observation_class(configuration, node))
         return sorted(classes)

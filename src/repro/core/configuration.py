@@ -147,6 +147,26 @@ class Configuration:
         return cls(counts)
 
     @classmethod
+    def from_trusted_counts(cls, counts: Tuple[int, ...]) -> "Configuration":
+        """Fast constructor for callers that already validated ``counts``.
+
+        Skips the per-element validation of ``__init__``; ``counts`` must
+        be a tuple of non-negative integers, at least 3 long, with a
+        positive sum.  Used by the simulation engine (which maintains a
+        validated occupancy array incrementally) and by the necklace
+        enumerator (whose gap cycles are correct by construction).
+        """
+        obj = object.__new__(cls)
+        obj._counts = counts
+        obj._n = len(counts)
+        obj._k = sum(counts)
+        obj._support = tuple(i for i, c in enumerate(counts) if c > 0)
+        obj._gap_cache = None
+        obj._hash = None
+        obj._memo = {}
+        return obj
+
+    @classmethod
     def from_gaps(cls, gaps: Sequence[int], anchor: int = 0) -> "Configuration":
         """Exclusive configuration built from a gap cycle.
 
@@ -206,8 +226,12 @@ class Configuration:
 
     @property
     def is_exclusive(self) -> bool:
-        """Whether every node holds at most one robot."""
-        return all(c <= 1 for c in self._counts)
+        """Whether every node holds at most one robot.
+
+        O(1): every node holds at most one robot iff the number of
+        occupied nodes equals the number of robots.
+        """
+        return len(self._support) == self._k
 
     def multiplicity(self, node: int) -> int:
         """Number of robots on ``node``."""
@@ -249,7 +273,9 @@ class Configuration:
         and ``nodes[(i + 1) % j]`` clockwise.
         """
         if self._gap_cache is None:
-            nodes = self.occupied_cw_from(self._support[0])
+            # Walking clockwise from the smallest occupied node visits the
+            # occupied nodes in increasing index order — i.e. `_support`.
+            nodes = self._support
             j = len(nodes)
             gaps = tuple(
                 (nodes[(i + 1) % j] - nodes[i]) % self._n - 1 if j > 1 else self._n - 1
@@ -329,8 +355,23 @@ class Configuration:
         raise ValueError(f"direction must be CW (+1) or CCW (-1), got {direction}")
 
     def views_of(self, node: int) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
-        """Both directed views of ``node`` as ``(clockwise, counter-clockwise)``."""
-        return self.directed_view(node, CW), self.directed_view(node, CCW)
+        """Both directed views of ``node`` as ``(clockwise, counter-clockwise)``.
+
+        Memoised per node: the engine asks for the same node's views on
+        every Look of a revisited configuration, so repeats are a
+        dictionary hit.
+        """
+        key = ("views", node)
+        memo = self._memo
+        cached = memo.get(key)
+        if cached is None:
+            if not self.is_occupied(node):
+                raise NotOccupiedError(node)
+            gaps, nodes = self.gap_cycle()
+            idx = nodes.index(node)
+            cached = (_views.cw_view(gaps, idx), _views.ccw_view(gaps, idx))
+            memo[key] = cached
+        return cached
 
     def min_view(self, node: int) -> Tuple[int, ...]:
         """The node's view :math:`W(r)`: the smaller of its two directed views."""

@@ -22,7 +22,7 @@ configuration enumeration in :mod:`repro.analysis.enumeration`.
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import List, Sequence, Tuple, TypeVar
+from typing import Iterator, List, Sequence, Tuple, TypeVar
 
 __all__ = [
     "rotate",
@@ -37,6 +37,8 @@ __all__ = [
     "is_rotationally_symmetric",
     "reflection_matches",
     "is_reflectively_symmetric",
+    "iter_fixed_sum_necklaces",
+    "iter_fixed_sum_bracelets",
 ]
 
 T = TypeVar("T")
@@ -226,3 +228,55 @@ def _reflection_matches_cached(items: Tuple[T, ...]) -> Tuple[int, ...]:
 def is_reflectively_symmetric(seq: Sequence[T]) -> bool:
     """Whether some reflection maps the cyclic sequence to itself."""
     return bool(reflection_matches(seq))
+
+
+def iter_fixed_sum_necklaces(length: int, total: int) -> Iterator[Tuple[int, ...]]:
+    """All necklaces of ``length`` non-negative integers summing to ``total``.
+
+    A *necklace* is the lexicographically smallest rotation of a cyclic
+    sequence; exactly one is yielded per rotation class, in increasing
+    lexicographic order.  This is the FKM recursion (Fredricksen-Kessler-
+    Maiorana, as generalised by Cattell et al.) over the alphabet
+    ``0..total``: position ``t`` either repeats ``a[t - p]`` (extending
+    the current period ``p``) or exceeds it (resetting the period to
+    ``t``), and a full sequence is a necklace iff ``length % p == 0``.
+    The running-sum bound prunes every branch that cannot reach ``total``
+    exactly, so the traversal stays proportional to its output — no
+    candidate is ever generated and then discarded by a seen-set.
+    """
+    if length <= 0:
+        if length == 0 and total == 0:
+            yield ()
+        return
+    a = [0] * (length + 1)
+
+    def gen(t: int, p: int, remaining: int) -> Iterator[Tuple[int, ...]]:
+        if t > length:
+            if remaining == 0 and length % p == 0:
+                yield tuple(a[1:])
+            return
+        v = a[t - p]
+        if v > remaining:
+            return
+        a[t] = v
+        yield from gen(t + 1, p, remaining - v)
+        for v in range(a[t - p] + 1, remaining + 1):
+            a[t] = v
+            yield from gen(t + 1, t, remaining - v)
+
+    yield from gen(1, 1, total)
+
+
+def iter_fixed_sum_bracelets(length: int, total: int) -> Iterator[Tuple[int, ...]]:
+    """One representative per *dihedral* class (rotations and reflections).
+
+    Filters :func:`iter_fixed_sum_necklaces` down to the necklaces that
+    are also minimal against their mirror image: a dihedral class merges
+    at most two rotation classes (a necklace and the necklace of its
+    reversal), and the yielded representative is exactly
+    :func:`canonical_dihedral` of every member of the class.  Yields in
+    increasing lexicographic order.
+    """
+    for necklace in iter_fixed_sum_necklaces(length, total):
+        if necklace <= canonical_rotation(tuple(reversed(necklace))):
+            yield necklace

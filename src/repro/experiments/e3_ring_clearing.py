@@ -17,13 +17,14 @@ consecutive all-clear events), whose expected shape is linear in ``n``.
 from __future__ import annotations
 
 import random
+from itertools import islice
 
 from ..algorithms.ring_clearing import RingClearingAlgorithm, ring_clearing_supported
 from ..analysis.metrics import clearing_metrics, summarize
 from ..campaign import run_experiment_campaign
 from ..simulator.engine import Simulator
 from ..tasks import ExplorationMonitor, SearchingMonitor
-from ..workloads.generators import random_rigid_configuration, rigid_configurations
+from ..workloads.generators import iter_rigid_configurations, random_rigid_configuration
 from .report import ExperimentResult
 
 __all__ = ["run", "run_single", "run_unit"]
@@ -45,7 +46,7 @@ def run_unit(unit):
         return {"row": [k, n, 0, "-", "-", "-", "unsupported", "-"], "passed": True}
     rng = random.Random(unit["seed"])
     if n <= 12:
-        starts = rigid_configurations(n, k)[: max(unit["samples"], 3)]
+        starts = list(islice(iter_rigid_configurations(n, k), max(unit["samples"], 3)))
     else:
         starts = [random_rigid_configuration(n, k, rng) for _ in range(unit["samples"])]
     searching_ok = exploration_ok = 0

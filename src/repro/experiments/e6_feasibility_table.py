@@ -21,7 +21,7 @@ from ..analysis.game import GameVerdict, searching_game_verdict
 from ..campaign import run_experiment_campaign
 from ..simulator.engine import Simulator
 from ..tasks import SearchingMonitor
-from ..workloads.generators import rigid_configurations
+from ..workloads.generators import iter_rigid_configurations
 from .report import ExperimentResult
 
 __all__ = ["run", "run_unit", "simulation_cross_check", "FEASIBLE_SAMPLE"]
@@ -38,7 +38,7 @@ def simulation_cross_check(k: int, n: int, steps_factor: int = 30) -> bool:
         algorithm = NminusThreeAlgorithm()
     else:
         return False
-    configuration = rigid_configurations(n, k)[0]
+    configuration = next(iter_rigid_configurations(n, k))
     searching = SearchingMonitor()
     engine = Simulator(algorithm, configuration, monitors=[searching])
     engine.run(steps_factor * n * k)

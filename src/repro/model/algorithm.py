@@ -25,6 +25,7 @@ designated robot.  The library mirrors this structure:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from collections import OrderedDict
 from typing import Dict, Mapping
 
 from ..core.configuration import Configuration
@@ -32,7 +33,7 @@ from ..core.errors import AlgorithmPreconditionError
 from .decisions import Decision
 from .snapshot import Snapshot
 
-__all__ = ["Algorithm", "GlobalRuleAlgorithm", "PlannedMoves"]
+__all__ = ["Algorithm", "GlobalRuleAlgorithm", "PlannedMoves", "DecisionCache"]
 
 #: A plan: mapping from mover node to its adjacent target node, expressed
 #: in the labelling of the configuration handed to the planner.
@@ -57,6 +58,49 @@ class Algorithm(ABC):
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(name={self.name!r})"
+
+
+class DecisionCache:
+    """Bounded LRU memoising :meth:`Algorithm.compute` per distinct snapshot.
+
+    Robots are oblivious, so an algorithm's decision is a pure function of
+    the snapshot ``(n, views, on_multiplicity)`` — the cache is therefore
+    never invalidated, only evicted.  Each cache is owned by exactly one
+    consumer (one engine, hence one algorithm instance and one ring
+    size); the algorithm-identity component of the conceptual cache key
+    is that ownership, which avoids keying on recyclable ``id()`` values.
+    Schedulers that activate many robots on one configuration then pay
+    one ``compute`` per distinct view instead of one per activation.
+    """
+
+    __slots__ = ("maxsize", "hits", "misses", "_entries")
+
+    def __init__(self, maxsize: int = 4096) -> None:
+        if maxsize <= 0:
+            raise ValueError("DecisionCache maxsize must be positive")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[tuple, Decision]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def compute(self, algorithm: Algorithm, snapshot: Snapshot) -> Decision:
+        """Return ``algorithm.compute(snapshot)``, memoised."""
+        key = (snapshot.n, snapshot.views, snapshot.on_multiplicity)
+        entries = self._entries
+        decision = entries.get(key)
+        if decision is not None:
+            entries.move_to_end(key)
+            self.hits += 1
+            return decision
+        decision = algorithm.compute(snapshot)
+        self.misses += 1
+        entries[key] = decision
+        if len(entries) > self.maxsize:
+            entries.popitem(last=False)
+        return decision
 
 
 class GlobalRuleAlgorithm(Algorithm):

@@ -14,7 +14,9 @@ test-suite.
 from __future__ import annotations
 
 import random
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+from bisect import insort
+from collections import OrderedDict
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from ..core.configuration import Configuration
 from ..core.errors import (
@@ -25,7 +27,7 @@ from ..core.errors import (
     SimulationLimitError,
 )
 from ..core.ring import CCW, CW, Ring
-from ..model.algorithm import Algorithm
+from ..model.algorithm import Algorithm, DecisionCache
 from ..model.robot import RobotState
 from ..model.snapshot import Snapshot
 from ..scheduler.base import Activation, ActivationKind, Scheduler
@@ -36,6 +38,33 @@ __all__ = ["Simulator"]
 
 #: Predicate over the engine used as a stop condition.
 StopCondition = Callable[["Simulator"], bool]
+
+
+class _ConfigurationPool:
+    """Bounded LRU of ``counts -> Configuration`` shared across steps.
+
+    Perpetual algorithms revisit configurations, so pooling lets a
+    revisited state reuse the same :class:`Configuration` object — and
+    with it every memoised derived quantity (gap cycle, supermin view,
+    symmetry, canonical key) computed the first time around.
+    """
+
+    __slots__ = ("maxsize", "_entries")
+
+    def __init__(self, maxsize: int = 1024) -> None:
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[Tuple[int, ...], Configuration]" = OrderedDict()
+
+    def get(self, counts: Tuple[int, ...]) -> Optional[Configuration]:
+        entry = self._entries.get(counts)
+        if entry is not None:
+            self._entries.move_to_end(counts)
+        return entry
+
+    def put(self, counts: Tuple[int, ...], configuration: Configuration) -> None:
+        self._entries[counts] = configuration
+        if len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
 
 
 class Simulator:
@@ -65,6 +94,19 @@ class Simulator:
             first, effectively granting the robots a common sense of
             direction.  This is *stronger* than the min-CORDA model and is
             only used by baselines and illustrative examples.
+        decision_cache: memoise ``algorithm.compute`` per distinct
+            snapshot behind a bounded LRU (robots are oblivious, so the
+            decision is a pure function of the snapshot).  On by default;
+            disable to force one ``compute`` per Look, e.g. when timing
+            an algorithm itself.  Traces are identical either way.
+
+    The engine owns its state incrementally: an occupancy count array, a
+    node-to-robots index and a monotonically bumped *state version* are
+    updated in O(1) per executed move, and :attr:`configuration` is a
+    cache keyed on that version — within one step, all robots' Looks
+    share one :class:`Configuration` object and its memoised gap cycle,
+    supermin and symmetry state.  Robot positions are engine-owned;
+    mutate them only through activations.
     """
 
     def __init__(
@@ -80,6 +122,7 @@ class Simulator:
         presentation_seed: Optional[int] = 0,
         collision_policy: str = "raise",
         chirality: bool = False,
+        decision_cache: bool = True,
     ) -> None:
         if isinstance(initial, Configuration):
             configuration = initial
@@ -113,6 +156,25 @@ class Simulator:
         self._collision_policy = collision_policy
         self._chirality = chirality
         self._step_count = 0
+
+        # Incremental engine-owned state, updated in O(1) per executed
+        # move; `configuration` materialises it lazily, at most once per
+        # state version.
+        self._counts: List[int] = list(configuration.counts)
+        self._node_robots: Dict[int, List[int]] = {}
+        for robot in self._robots:
+            self._node_robots.setdefault(robot.position, []).append(robot.robot_id)
+        self._pending: Set[int] = set()
+        self._state_version = 0
+        self._config_pool = _ConfigurationPool()
+        # The validated initial configuration doubles as the version-0
+        # cache entry — no rebuild on first access.
+        self._config_pool.put(configuration.counts, configuration)
+        self._cached_configuration = configuration
+        self._cached_version = 0
+        self._decision_cache: Optional[DecisionCache] = (
+            DecisionCache() if decision_cache else None
+        )
         self._trace = Trace(
             initial_configuration=configuration,
             initial_positions=tuple(positions),
@@ -183,17 +245,40 @@ class Simulator:
         return tuple(robot.position for robot in self._robots)
 
     @property
+    def state_version(self) -> int:
+        """Monotonic counter bumped whenever an executed move changes the state."""
+        return self._state_version
+
+    @property
+    def decision_cache(self) -> Optional[DecisionCache]:
+        """The engine's decision cache (``None`` when disabled)."""
+        return self._decision_cache
+
+    @property
     def configuration(self) -> Configuration:
-        """The current configuration."""
-        return Configuration.from_positions(self._ring.n, self.positions)
+        """The current configuration, cached per state version.
+
+        All Looks of one step receive the same object, so memoised
+        derived state (gap cycle, supermin, symmetry, canonical key) is
+        computed at most once per distinct configuration.
+        """
+        if self._cached_version != self._state_version:
+            counts = tuple(self._counts)
+            cfg = self._config_pool.get(counts)
+            if cfg is None:
+                cfg = Configuration.from_trusted_counts(counts)
+                self._config_pool.put(counts, cfg)
+            self._cached_configuration = cfg
+            self._cached_version = self._state_version
+        return self._cached_configuration
 
     def robots_at(self, node: int) -> Tuple[int, ...]:
-        """Identifiers of the robots currently on ``node``."""
-        return tuple(r.robot_id for r in self._robots if r.position == node)
+        """Identifiers of the robots currently on ``node`` (ascending)."""
+        return tuple(self._node_robots.get(node, ()))
 
     def pending_robots(self) -> Tuple[int, ...]:
         """Identifiers of the robots holding a pending (not yet executed) move."""
-        return tuple(r.robot_id for r in self._robots if r.has_pending_move)
+        return tuple(sorted(self._pending))
 
     # ------------------------------------------------------------------ #
     # phase primitives
@@ -202,8 +287,7 @@ class Simulator:
         """Build the snapshot for a robot; return it with the global direction of ``views[0]``."""
         robot = self._robots[robot_id]
         configuration = self.configuration
-        cw_view = configuration.directed_view(robot.position, CW)
-        ccw_view = configuration.directed_view(robot.position, CCW)
+        cw_view, ccw_view = configuration.views_of(robot.position)
         first_is_cw = True if self._chirality else self._rng.random() < 0.5
         views = (cw_view, ccw_view) if first_is_cw else (ccw_view, cw_view)
         on_multiplicity = (
@@ -216,15 +300,20 @@ class Simulator:
         """Run Look + Compute for one robot; store and return the pending target."""
         robot = self._robots[robot_id]
         snapshot, first_direction = self._snapshot_for(robot_id)
-        decision = self._algorithm.compute(snapshot)
+        if self._decision_cache is not None:
+            decision = self._decision_cache.compute(self._algorithm, snapshot)
+        else:
+            decision = self._algorithm.compute(snapshot)
         robot.looks += 1
         if decision.is_idle:
             robot.idles += 1
             robot.pending_target = None
+            self._pending.discard(robot_id)
             return None
         direction = first_direction if decision.toward_view == 0 else -first_direction
         target = (robot.position + direction) % self._ring.n
         robot.pending_target = target
+        self._pending.add(robot_id)
         return target
 
     def _execute_pending(self, robot_ids: Sequence[int]) -> List[MoveRecord]:
@@ -239,10 +328,25 @@ class Simulator:
             )
         for record in records:
             robot = self._robots[record.robot_id]
-            robot.position = record.target
+            self._relocate(robot, record.target)
             robot.moves += 1
             robot.pending_target = None
+            self._pending.discard(record.robot_id)
+        if records:
+            self._state_version += 1
         return records
+
+    def _relocate(self, robot: RobotState, target: int) -> None:
+        """Move one robot in the incremental occupancy state (O(1))."""
+        source = robot.position
+        self._counts[source] -= 1
+        self._counts[target] += 1
+        bucket = self._node_robots[source]
+        bucket.remove(robot.robot_id)
+        if not bucket:
+            del self._node_robots[source]
+        insort(self._node_robots.setdefault(target, []), robot.robot_id)
+        robot.position = target
 
     # ------------------------------------------------------------------ #
     # stepping

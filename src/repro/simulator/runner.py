@@ -37,6 +37,7 @@ def simulate(
     presentation_seed: Optional[int] = 0,
     collision_policy: str = "raise",
     chirality: bool = False,
+    decision_cache: bool = True,
     stop=None,
 ) -> Tuple[Trace, Simulator]:
     """Build a simulator, run it for ``steps`` steps and return trace + engine."""
@@ -51,6 +52,7 @@ def simulate(
         presentation_seed=presentation_seed,
         collision_policy=collision_policy,
         chirality=chirality,
+        decision_cache=decision_cache,
     )
     trace = engine.run(steps, stop=stop)
     return trace, engine
@@ -69,6 +71,7 @@ def run_to_configuration(
     presentation_seed: Optional[int] = 0,
     collision_policy: str = "raise",
     chirality: bool = False,
+    decision_cache: bool = True,
 ) -> Tuple[Trace, Simulator]:
     """Run until the configuration satisfies ``goal`` (a predicate).
 
@@ -87,6 +90,7 @@ def run_to_configuration(
         presentation_seed=presentation_seed,
         collision_policy=collision_policy,
         chirality=chirality,
+        decision_cache=decision_cache,
     )
     trace = engine.run_until(lambda sim: goal(sim.configuration), budget)
     return trace, engine
@@ -101,6 +105,7 @@ def run_gathering(
     monitors: Iterable[Monitor] = (),
     presentation_seed: Optional[int] = 0,
     chirality: bool = False,
+    decision_cache: bool = True,
 ) -> Tuple[Trace, Simulator]:
     """Run a gathering algorithm until all robots share one node.
 
@@ -117,6 +122,7 @@ def run_gathering(
         monitors=monitors,
         presentation_seed=presentation_seed,
         chirality=chirality,
+        decision_cache=decision_cache,
     )
     trace = engine.run_until(lambda sim: sim.configuration.num_occupied == 1, budget)
     return trace, engine

@@ -4,6 +4,7 @@ from .generators import (
     extremal_configurations,
     random_exclusive_configuration,
     random_rigid_configuration,
+    iter_rigid_configurations,
     rigid_configurations,
     sample_rigid_configurations,
 )
@@ -13,6 +14,7 @@ __all__ = [
     "random_exclusive_configuration",
     "random_rigid_configuration",
     "rigid_configurations",
+    "iter_rigid_configurations",
     "sample_rigid_configurations",
     "extremal_configurations",
     "Suite",

@@ -11,12 +11,13 @@ from typing import Iterator, List, Optional
 
 from ..core.configuration import Configuration
 from ..core.errors import InvalidConfigurationError, UnsupportedParametersError
-from ..analysis.enumeration import enumerate_configurations
+from ..analysis.enumeration import enumerate_configurations, iter_configurations
 
 __all__ = [
     "random_exclusive_configuration",
     "random_rigid_configuration",
     "rigid_configurations",
+    "iter_rigid_configurations",
     "sample_rigid_configurations",
     "extremal_configurations",
 ]
@@ -57,6 +58,11 @@ def random_rigid_configuration(
 def rigid_configurations(n: int, k: int) -> List[Configuration]:
     """All rigid configuration classes for ``(k, n)`` (exhaustive, small instances)."""
     return enumerate_configurations(n, k, rigid_only=True)
+
+
+def iter_rigid_configurations(n: int, k: int) -> Iterator[Configuration]:
+    """Streaming flavour of :func:`rigid_configurations` (O(1) memory)."""
+    return iter_configurations(n, k, rigid_only=True)
 
 
 def sample_rigid_configurations(

@@ -1,0 +1,96 @@
+"""Equivalence tests for the direct necklace enumerator.
+
+The old enumeration walked all C(n-1, k-1) placements containing node 0
+and deduplicated them by canonical gap cycle; the new one generates one
+dihedral-class representative directly.  These tests re-implement the
+brute force locally and check both enumerations agree — classes *and*
+order — for every (k, n) with n <= 12.
+"""
+
+from itertools import combinations
+
+import pytest
+
+from repro.analysis.enumeration import (
+    census,
+    count_configurations,
+    enumerate_configurations,
+    iter_configurations,
+)
+from repro.core.configuration import Configuration
+from repro.core.cyclic import canonical_rotation, iter_fixed_sum_necklaces
+
+
+def brute_force_class_keys(n, k):
+    """Canonical gap cycles of all classes, via the pre-rewrite algorithm."""
+    seen = {}
+    for rest in combinations(range(1, n), k - 1):
+        configuration = Configuration.from_occupied(n, (0,) + rest)
+        key = configuration.canonical_gaps()
+        if key not in seen:
+            seen[key] = configuration
+    return seen
+
+
+class TestEnumeratorEquivalence:
+    @pytest.mark.parametrize("n", range(3, 13))
+    def test_matches_brute_force_for_all_k(self, n):
+        for k in range(1, n + 1):
+            brute = brute_force_class_keys(n, k)
+            direct = enumerate_configurations(n, k)
+            assert [c.canonical_gaps() for c in direct] == sorted(brute)
+
+    @pytest.mark.parametrize("n", range(3, 13))
+    def test_rigid_only_matches_brute_force(self, n):
+        for k in range(1, n + 1):
+            brute_rigid = sorted(
+                key for key, c in brute_force_class_keys(n, k).items() if c.is_rigid
+            )
+            direct = enumerate_configurations(n, k, rigid_only=True)
+            assert [c.canonical_gaps() for c in direct] == brute_rigid
+
+    @pytest.mark.parametrize("n", range(3, 13))
+    def test_count_matches_brute_force(self, n):
+        for k in range(1, n + 1):
+            assert count_configurations(n, k) == len(brute_force_class_keys(n, k))
+
+    def test_census_matches_brute_force_classification(self):
+        for n, k in ((9, 4), (10, 5), (12, 6)):
+            measured = census(n, k)
+            rigid = periodic = symmetric = 0
+            for configuration in brute_force_class_keys(n, k).values():
+                if configuration.is_periodic:
+                    periodic += 1
+                elif configuration.is_symmetric:
+                    symmetric += 1
+                else:
+                    rigid += 1
+            assert (measured.rigid, measured.symmetric_aperiodic, measured.periodic) == (
+                rigid,
+                symmetric,
+                periodic,
+            )
+
+
+class TestRepresentativeInvariants:
+    def test_representatives_are_dihedral_canonical(self):
+        for configuration in iter_configurations(11, 5):
+            assert configuration.gaps() == configuration.canonical_gaps()
+            assert configuration.support[0] == 0
+
+    def test_preseeded_gap_cache_matches_recomputation(self):
+        for configuration in iter_configurations(10, 4):
+            fresh = Configuration(configuration.counts)
+            assert configuration.gap_cycle() == fresh.gap_cycle()
+
+    def test_stream_is_lazy(self):
+        stream = iter_configurations(12, 6)
+        first = next(stream)
+        assert first.k == 6 and first.n == 12
+
+    def test_necklace_generator_yields_lex_min_rotations_in_order(self):
+        out = list(iter_fixed_sum_necklaces(5, 7))
+        assert out == sorted(out)
+        assert len(set(out)) == len(out)
+        for necklace in out:
+            assert necklace == canonical_rotation(necklace)

@@ -58,6 +58,17 @@ class TestConstruction:
         with pytest.raises(InvalidConfigurationError):
             Configuration([0, 0, 0, 0])
 
+    def test_from_trusted_counts_equals_validated_construction(self):
+        for counts in ((1, 0, 2, 0, 1), (0, 1, 1, 0, 0, 1), (3, 0, 0)):
+            trusted = Configuration.from_trusted_counts(counts)
+            validated = Configuration(counts)
+            assert trusted == validated
+            assert trusted.support == validated.support
+            assert trusted.k == validated.k
+            assert trusted.gap_cycle() == validated.gap_cycle()
+            assert trusted.is_exclusive == validated.is_exclusive
+            assert hash(trusted) == hash(validated)
+
     def test_rejects_negative_counts(self):
         with pytest.raises(InvalidConfigurationError):
             Configuration([1, -1, 0])

@@ -1,6 +1,6 @@
 """Unit and property tests for :mod:`repro.core.cyclic`."""
 
-from hypothesis import given
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import cyclic
@@ -123,3 +123,52 @@ class TestReflectiveSymmetry:
         assert cyclic.is_reflectively_symmetric(seq) == cyclic.is_reflectively_symmetric(
             tuple(reversed(tuple(seq)))
         )
+
+
+class TestFixedSumGenerators:
+    @staticmethod
+    def brute_necklaces(length, total):
+        from itertools import product
+
+        return sorted(
+            {
+                cyclic.canonical_rotation(seq)
+                for seq in product(range(total + 1), repeat=length)
+                if sum(seq) == total
+            }
+        )
+
+    @staticmethod
+    def brute_bracelets(length, total):
+        from itertools import product
+
+        return sorted(
+            {
+                cyclic.canonical_dihedral(seq)
+                for seq in product(range(total + 1), repeat=length)
+                if sum(seq) == total
+            }
+        )
+
+    @given(st.integers(min_value=1, max_value=6), st.integers(min_value=0, max_value=7))
+    @settings(max_examples=30, deadline=None)
+    def test_necklaces_match_brute_force(self, length, total):
+        assert list(cyclic.iter_fixed_sum_necklaces(length, total)) == self.brute_necklaces(
+            length, total
+        )
+
+    @given(st.integers(min_value=1, max_value=6), st.integers(min_value=0, max_value=7))
+    @settings(max_examples=30, deadline=None)
+    def test_bracelets_match_brute_force(self, length, total):
+        assert list(cyclic.iter_fixed_sum_bracelets(length, total)) == self.brute_bracelets(
+            length, total
+        )
+
+    def test_bracelet_representatives_are_dihedral_canonical(self):
+        for bracelet in cyclic.iter_fixed_sum_bracelets(6, 6):
+            assert bracelet == cyclic.canonical_dihedral(bracelet)
+
+    def test_empty_length(self):
+        assert list(cyclic.iter_fixed_sum_necklaces(0, 0)) == [()]
+        assert list(cyclic.iter_fixed_sum_necklaces(0, 3)) == []
+        assert list(cyclic.iter_fixed_sum_necklaces(-1, 0)) == []
