@@ -1,0 +1,58 @@
+"""Benchmark E8 — exhaustive adversarial model checker throughput."""
+
+import pytest
+
+from repro.modelcheck import Verdict, check_cell
+
+
+def _gathering_grid_n8():
+    results = [
+        check_cell("gathering", n, k)
+        for n in range(6, 9)
+        for k in range(3, n - 2)
+    ]
+    assert all(r.verdict is Verdict.SOLVED for r in results)
+    return results
+
+
+def test_modelcheck_gathering_grid(benchmark):
+    results = benchmark(_gathering_grid_n8)
+    assert len(results) == 6
+
+
+def test_modelcheck_ring_clearing_cell(benchmark):
+    result = benchmark(check_cell, "searching", 13, 6)
+    assert result.verdict is Verdict.SOLVED
+    assert result.num_states > 300
+
+
+def test_modelcheck_smoke_cell_counterexample(benchmark):
+    """The CI smoke cell: k=3, n=6 ring-clearing is infeasible (Theorem 5)."""
+    result = benchmark(check_cell, "searching", 6, 3)
+    assert result.verdict in (Verdict.COLLISION, Verdict.LIVELOCK)
+    assert result.witness is not None
+
+
+def main():
+    from _harness import emit
+
+    throughput = {}
+
+    def searching_6x13():
+        result = check_cell("searching", 13, 6)
+        throughput["states_per_sec_searching_6x13"] = round(result.states_per_second, 1)
+        return result
+
+    emit(
+        "e8",
+        {
+            "verify-gathering-grid-n8": _gathering_grid_n8,
+            "verify-searching-rc-6x13": searching_6x13,
+            "verify-smoke-searching-3x6": lambda: check_cell("searching", 6, 3),
+        },
+        extra=throughput,
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -51,6 +51,7 @@ from ..core.errors import SimulationLimitError, UnsupportedParametersError
 from ..core.ring import CCW, CW, Ring
 from ..tasks.searching import advance_clear_edges, guarded_edges
 from .enumeration import enumerate_configurations, iter_configurations
+from .graphs import tarjan_scc
 
 __all__ = ["Option", "GameVerdict", "GameResult", "SearchGameSolver", "searching_game_verdict"]
 
@@ -294,52 +295,9 @@ class SearchGameSolver:
             s: [(t, robots) for (t, robots) in edges.get(s, []) if t in bad_states]
             for s in bad_states
         }
-        # Iterative Tarjan SCC over the restricted graph.
-        index_counter = 0
-        indices: Dict[GameState, int] = {}
-        lowlinks: Dict[GameState, int] = {}
-        on_stack: Set[GameState] = set()
-        stack: List[GameState] = []
-        components: List[List[GameState]] = []
-
-        for root in restricted:
-            if root in indices:
-                continue
-            work = [(root, iter(restricted[root]))]
-            indices[root] = lowlinks[root] = index_counter
-            index_counter += 1
-            stack.append(root)
-            on_stack.add(root)
-            while work:
-                node, successors_iter = work[-1]
-                advanced = False
-                for successor, _ in successors_iter:
-                    if successor not in indices:
-                        indices[successor] = lowlinks[successor] = index_counter
-                        index_counter += 1
-                        stack.append(successor)
-                        on_stack.add(successor)
-                        work.append((successor, iter(restricted[successor])))
-                        advanced = True
-                        break
-                    if successor in on_stack:
-                        lowlinks[node] = min(lowlinks[node], indices[successor])
-                if advanced:
-                    continue
-                work.pop()
-                if work:
-                    parent = work[-1][0]
-                    lowlinks[parent] = min(lowlinks[parent], lowlinks[node])
-                if lowlinks[node] == indices[node]:
-                    component = []
-                    while True:
-                        member = stack.pop()
-                        on_stack.discard(member)
-                        component.append(member)
-                        if member == node:
-                            break
-                    components.append(component)
-
+        components = tarjan_scc(
+            {s: [t for (t, _) in outgoing] for s, outgoing in restricted.items()}
+        )
         all_robots = frozenset(range(num_robots))
         for component in components:
             members = set(component)

@@ -1,0 +1,78 @@
+"""Generic directed-graph algorithms shared by the exhaustive analyses.
+
+Both the adversary game solver (:mod:`repro.analysis.game`) and the
+model checker (:mod:`repro.modelcheck`) reduce "the adversary can loop
+here forever" questions to strongly-connected-component computations on
+explicit state graphs.  This module holds the one iterative Tarjan
+implementation they share; nodes may be any hashable objects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Mapping, Set, TypeVar
+
+__all__ = ["tarjan_scc"]
+
+Node = TypeVar("Node", bound=Hashable)
+
+
+def tarjan_scc(graph: Mapping[Node, Iterable[Node]]) -> List[List[Node]]:
+    """Strongly connected components of a directed graph (iterative Tarjan).
+
+    Args:
+        graph: adjacency mapping; every node that should be considered
+            must appear as a key (successors outside the key set are
+            ignored, which lets callers pass restricted sub-graphs).
+
+    Returns:
+        The components in reverse topological order; singleton
+        components without a self-loop are included (callers that need
+        "can loop here" must additionally check for an internal edge).
+    """
+    index_counter = 0
+    indices: Dict[Node, int] = {}
+    lowlinks: Dict[Node, int] = {}
+    on_stack: Set[Node] = set()
+    stack: List[Node] = []
+    components: List[List[Node]] = []
+
+    for root in graph:
+        if root in indices:
+            continue
+        work = [(root, iter(graph[root]))]
+        indices[root] = lowlinks[root] = index_counter
+        index_counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors_iter = work[-1]
+            advanced = False
+            for successor in successors_iter:
+                if successor not in graph:
+                    continue
+                if successor not in indices:
+                    indices[successor] = lowlinks[successor] = index_counter
+                    index_counter += 1
+                    stack.append(successor)
+                    on_stack.add(successor)
+                    work.append((successor, iter(graph[successor])))
+                    advanced = True
+                    break
+                if successor in on_stack:
+                    lowlinks[node] = min(lowlinks[node], indices[successor])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlinks[parent] = min(lowlinks[parent], lowlinks[node])
+            if lowlinks[node] == indices[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components

@@ -31,7 +31,7 @@ from __future__ import annotations
 from typing import Optional, Union
 
 from .executor import CampaignReport, ProgressCallback, Worker, run_campaign
-from .spec import Campaign, UnitSpec, build_campaign, derive_seed
+from .spec import Campaign, UnitSpec, build_campaign, build_cells_campaign, derive_seed
 from .store import ResultStore
 
 __all__ = [
@@ -40,6 +40,7 @@ __all__ = [
     "ResultStore",
     "UnitSpec",
     "build_campaign",
+    "build_cells_campaign",
     "derive_seed",
     "run_campaign",
     "run_experiment_campaign",

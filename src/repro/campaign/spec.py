@@ -13,12 +13,12 @@ result store.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass
-from typing import Dict, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Sequence, Tuple
 
 from ..workloads.suites import Suite, get_suite
 
-__all__ = ["UnitSpec", "Campaign", "build_campaign", "derive_seed"]
+__all__ = ["UnitSpec", "Campaign", "build_campaign", "build_cells_campaign", "derive_seed"]
 
 
 def derive_seed(
@@ -55,6 +55,11 @@ class UnitSpec:
         seed: deterministic per-unit RNG seed (see :func:`derive_seed`).
         samples: number of random starting configurations.
         steps_factor: step-budget multiplier for perpetual runs.
+        extra: additional worker parameters as a sorted tuple of
+            ``(key, value)`` pairs (kept as a tuple so the spec stays
+            hashable); surfaced to workers as a plain dict.  Used by
+            grids that are not plain simulation sweeps, e.g. the model
+            checker's ``(task, adversary, max_states)`` cells.
     """
 
     campaign: str
@@ -67,6 +72,7 @@ class UnitSpec:
     seed: int
     samples: int
     steps_factor: int
+    extra: Tuple[Tuple[str, object], ...] = field(default=())
 
     def as_dict(self) -> Dict[str, object]:
         """Plain-dict form handed to worker processes and stored on disk."""
@@ -81,6 +87,7 @@ class UnitSpec:
             "seed": self.seed,
             "samples": self.samples,
             "steps_factor": self.steps_factor,
+            "extra": dict(self.extra),
         }
 
 
@@ -131,5 +138,50 @@ def build_campaign(experiment: str, variant: str = "quick") -> Campaign:
         experiment=experiment,
         variant=variant,
         description=suite.description,
+        units=units,
+    )
+
+
+def build_cells_campaign(
+    experiment: str,
+    variant: str,
+    description: str,
+    cells: Sequence[Tuple[int, int]],
+    *,
+    base_seed: int = 20130701,
+    samples: int = 1,
+    steps_factor: int = 1,
+    extra: Tuple[Tuple[str, object], ...] = (),
+) -> Campaign:
+    """Expand an explicit ``(k, n)`` cell list into a campaign grid.
+
+    Unlike :func:`build_campaign` this does not consult the named suites:
+    callers (e.g. ``repro verify``) supply the cells directly, plus
+    worker parameters in ``extra`` (shared by every unit).  Units keep
+    the same stable-id and deterministic-seed scheme, so result stores
+    resume across invocations with the same cell list.
+    """
+    name = f"{experiment}-{variant}"
+    units = tuple(
+        UnitSpec(
+            campaign=name,
+            experiment=experiment,
+            variant=variant,
+            index=index,
+            unit_id=f"u{index:03d}-k{k:03d}-n{n:03d}",
+            k=k,
+            n=n,
+            seed=derive_seed(base_seed, experiment, variant, k, n, index),
+            samples=samples,
+            steps_factor=steps_factor,
+            extra=tuple(sorted(extra)),
+        )
+        for index, (k, n) in enumerate(cells)
+    )
+    return Campaign(
+        name=name,
+        experiment=experiment,
+        variant=variant,
+        description=description,
         units=units,
     )

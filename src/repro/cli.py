@@ -9,14 +9,16 @@ reproduction experiments and a few utility commands::
     ringsim census 9 6               # configuration census for k=6, n=9
     ringsim feasibility 14           # searching feasibility table up to n=14
     ringsim demo align 12 5          # watch Align run on a random rigid start
+    ringsim verify gathering --k 3-5 --n 8   # exhaustive model check
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import random
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from .algorithms.align import AlignAlgorithm
 from .algorithms.gathering import GatheringAlgorithm
@@ -26,10 +28,13 @@ from .analysis.enumeration import census
 from .analysis.feasibility import feasibility_table
 from .experiments import EXPERIMENTS
 from .experiments.report import render_table
-from .simulator.engine import Simulator
+from .model.algorithm import DEFAULT_DECISION_CACHE_SIZE
+from .modelcheck import TASKS as VERIFY_TASKS
+from .modelcheck.grid import DEFAULT_MAX_STATES, run_verify_campaign
+from .simulator.engine import DEFAULT_CONFIG_POOL_SIZE, Simulator
 from .workloads.generators import random_rigid_configuration
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "parse_int_grid"]
 
 _DEMO_ALGORITHMS = {
     "align": AlignAlgorithm,
@@ -70,8 +75,67 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("k", type=int)
     demo.add_argument("--steps", type=int, default=200)
     demo.add_argument("--seed", type=int, default=0)
+    demo.add_argument(
+        "--decision-cache-size",
+        type=_positive_int,
+        default=DEFAULT_DECISION_CACHE_SIZE,
+        metavar="M",
+        help=f"bound of the engine's decision LRU (default: {DEFAULT_DECISION_CACHE_SIZE})",
+    )
+    demo.add_argument(
+        "--config-pool-size",
+        type=_positive_int,
+        default=DEFAULT_CONFIG_POOL_SIZE,
+        metavar="M",
+        help=f"bound of the engine's configuration-pool LRU (default: {DEFAULT_CONFIG_POOL_SIZE})",
+    )
+
+    verify = sub.add_parser(
+        "verify",
+        help="exhaustively model-check a task against every SSYNC adversary schedule",
+    )
+    verify.add_argument("task", choices=sorted(VERIFY_TASKS))
+    verify.add_argument(
+        "--k", required=True, metavar="GRID", type=parse_int_grid,
+        help="robot counts: '4', '3,5' or '3-6' (combinable: '2,4-6')",
+    )
+    verify.add_argument(
+        "--n", required=True, metavar="GRID", type=parse_int_grid,
+        help="ring sizes, same syntax as --k",
+    )
+    verify.add_argument(
+        "--adversary", choices=["ssync", "sequential"], default="ssync",
+        help="adversary class explored (default: ssync)",
+    )
+    verify.add_argument(
+        "--max-states", type=_positive_int, default=DEFAULT_MAX_STATES, metavar="M",
+        help=f"per-cell state-space cap (default: {DEFAULT_MAX_STATES})",
+    )
+    verify.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the full verdict documents (witnesses included) as JSON",
+    )
+    _add_campaign_arguments(verify)
 
     return parser
+
+
+def parse_int_grid(text: str) -> Tuple[int, ...]:
+    """Parse a grid expression: ``'4'``, ``'3,5'``, ``'3-6'`` or mixes."""
+    values: List[int] = []
+    for part in text.split(","):
+        part = part.strip()
+        if "-" in part:
+            low_text, high_text = part.split("-", 1)
+            low, high = int(low_text), int(high_text)
+            if high < low:
+                raise argparse.ArgumentTypeError(f"empty range {part!r}")
+            values.extend(range(low, high + 1))
+        elif part:
+            values.append(int(part))
+    if not values:
+        raise argparse.ArgumentTypeError(f"no values in grid expression {text!r}")
+    return tuple(dict.fromkeys(values))
 
 
 def _positive_int(text: str) -> int:
@@ -146,7 +210,16 @@ def _run_feasibility(max_n: int, task: str, out) -> int:
     return 0
 
 
-def _run_demo(algorithm: str, n: int, k: int, steps: int, seed: int, out) -> int:
+def _run_demo(
+    algorithm: str,
+    n: int,
+    k: int,
+    steps: int,
+    seed: int,
+    out,
+    decision_cache_size: int = 4096,
+    config_pool_size: int = 1024,
+) -> int:
     rng = random.Random(seed)
     configuration = random_rigid_configuration(n, k, rng)
     cls = _DEMO_ALGORITHMS[algorithm]
@@ -157,6 +230,8 @@ def _run_demo(algorithm: str, n: int, k: int, steps: int, seed: int, out) -> int
         exclusive=not gathering,
         multiplicity_detection=gathering,
         presentation_seed=seed,
+        decision_cache_size=decision_cache_size,
+        config_pool_size=config_pool_size,
     )
     print(f"initial: {configuration.ascii_art()}", file=out)
     for _ in range(steps):
@@ -170,6 +245,58 @@ def _run_demo(algorithm: str, n: int, k: int, steps: int, seed: int, out) -> int
             print("reached C*", file=out)
             break
     return 0
+
+
+def _run_verify(args, out) -> int:
+    ks, ns = args.k, args.n
+    cells = [(k, n) for n in ns for k in ks if 1 <= k <= n and n >= 3]
+    skipped = [(k, n) for n in ns for k in ks if not (1 <= k <= n and n >= 3)]
+    if not cells:
+        print("verify: no valid (k, n) cells in the requested grid", file=sys.stderr)
+        return 2
+    report = run_verify_campaign(
+        args.task,
+        cells,
+        adversary=args.adversary,
+        max_states=args.max_states,
+        jobs=args.jobs,
+        store=args.store,
+        progress=_progress_printer if args.progress else None,
+    )
+    header = (
+        "task", "k", "n", "algorithm", "adversary", "verdict",
+        "states", "transitions", "witness",
+    )
+    rows = []
+    documents = []
+    conclusive = True
+    for record in report.records:
+        payload = record.get("payload")
+        if record.get("status") == "ok" and isinstance(payload, dict):
+            rows.append(tuple(payload["row"]))
+            documents.append(payload["result"])
+            if not payload.get("passed", True):
+                conclusive = False
+        else:
+            error = record.get("error") or {}
+            rows.append(
+                (args.task, record.get("k"), record.get("n"), "-", args.adversary,
+                 f"{record.get('status', 'error').upper()}",
+                 "-", "-", f"{error.get('type')}: {error.get('message')}")
+            )
+            conclusive = False
+    print(render_table(header, rows), file=out)
+    if skipped:
+        print(f"note: skipped invalid cells {skipped}", file=out)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(
+                {"task": args.task, "adversary": args.adversary, "cells": documents},
+                handle, indent=2, sort_keys=True,
+            )
+            handle.write("\n")
+        print(f"verdicts written to {args.json}", file=out)
+    return 0 if conclusive else 1
 
 
 def main(argv: Optional[List[str]] = None, out=None) -> int:
@@ -189,7 +316,13 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     if args.command == "feasibility":
         return _run_feasibility(args.max_n, args.task, out)
     if args.command == "demo":
-        return _run_demo(args.algorithm, args.n, args.k, args.steps, args.seed, out)
+        return _run_demo(
+            args.algorithm, args.n, args.k, args.steps, args.seed, out,
+            decision_cache_size=args.decision_cache_size,
+            config_pool_size=args.config_pool_size,
+        )
+    if args.command == "verify":
+        return _run_verify(args, out)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

@@ -1,4 +1,9 @@
-"""Experiments E1-E7: one module per reproduced paper artifact."""
+"""Experiments E1-E8: one module per reproduced paper artifact.
+
+E1-E7 reproduce the paper's tables and figures by simulation and
+enumeration; E8 machine-checks the verdict tables with the exhaustive
+adversarial model checker.
+"""
 
 from . import (
     e1_configuration_census,
@@ -8,6 +13,7 @@ from . import (
     e5_gathering,
     e6_feasibility_table,
     e7_scaling,
+    e8_verification,
 )
 from .report import ExperimentResult, render_table
 
@@ -20,6 +26,7 @@ EXPERIMENTS = {
     "e5": e5_gathering.run,
     "e6": e6_feasibility_table.run,
     "e7": e7_scaling.run,
+    "e8": e8_verification.run,
 }
 
 __all__ = ["EXPERIMENTS", "ExperimentResult", "render_table"]

@@ -67,15 +67,22 @@ class ExperimentResult:
     def apply_campaign_report(self, report: CampaignReport) -> None:
         """Fold campaign unit records into this result (grid order).
 
-        Successful units contribute their ``payload["row"]`` (and their
-        ``payload["passed"]`` flag); failed or crashed units contribute
-        an error row and fail the experiment, so a worker crash is
-        visible in the table instead of silently dropping a cell.
+        Successful units contribute their ``payload["row"]`` — or, for
+        workers that check several properties per cell, every row of
+        ``payload["rows"]`` — plus their ``payload["passed"]`` flag;
+        failed or crashed units contribute an error row and fail the
+        experiment, so a worker crash is visible in the table instead of
+        silently dropping a cell.
         """
         for record in report.records:
             payload = record.get("payload")
             if record.get("status") == "ok" and isinstance(payload, dict):
-                self.add_row(*payload["row"])
+                # KeyError on a payload with neither key is deliberate: a
+                # worker that returns rows under a wrong name must fail
+                # loudly, not drop its cell from the table.
+                rows = payload["rows"] if "rows" in payload else [payload["row"]]
+                for row in rows:
+                    self.add_row(*row)
                 if not payload.get("passed", True):
                     self.passed = False
             else:

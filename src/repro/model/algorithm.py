@@ -33,7 +33,17 @@ from ..core.errors import AlgorithmPreconditionError
 from .decisions import Decision
 from .snapshot import Snapshot
 
-__all__ = ["Algorithm", "GlobalRuleAlgorithm", "PlannedMoves", "DecisionCache"]
+__all__ = [
+    "Algorithm",
+    "GlobalRuleAlgorithm",
+    "PlannedMoves",
+    "DecisionCache",
+    "DEFAULT_DECISION_CACHE_SIZE",
+]
+
+#: Default bound of a :class:`DecisionCache`; the engine, the runners and
+#: the CLI all share this value.
+DEFAULT_DECISION_CACHE_SIZE = 4096
 
 #: A plan: mapping from mover node to its adjacent target node, expressed
 #: in the labelling of the configuration handed to the planner.
@@ -75,7 +85,7 @@ class DecisionCache:
 
     __slots__ = ("maxsize", "hits", "misses", "_entries")
 
-    def __init__(self, maxsize: int = 4096) -> None:
+    def __init__(self, maxsize: int = DEFAULT_DECISION_CACHE_SIZE) -> None:
         if maxsize <= 0:
             raise ValueError("DecisionCache maxsize must be positive")
         self.maxsize = maxsize

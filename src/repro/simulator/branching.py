@@ -1,0 +1,359 @@
+"""Branching, replayable adversary driver.
+
+:class:`~repro.simulator.engine.Simulator` executes *one* schedule; the
+model checker (:mod:`repro.modelcheck`) needs *every* schedule.  This
+module provides the shared transition relation: given an algorithm and an
+occupancy vector, :class:`BranchingDriver` enumerates every successor
+state an SSYNC (or sequential) adversary can force in one step —
+activation subsets, per-robot adversarial view presentation, and
+direction tie-breaks for robots whose two views coincide.
+
+The driver is *replayable*: a transition carries the exact activation
+profile that produced it, and :meth:`BranchingDriver.apply` re-executes a
+profile against an occupancy vector (validating it against the
+algorithm's actual options), so a model-checking witness can be replayed
+step by step and cross-checked against the engine.
+
+**Decision semantics.**  A robot's decision is a pure function of its
+snapshot, but the adversary chooses the order in which the two directed
+views are presented.  The driver therefore computes the decision under
+*both* presentations and exposes the union of the resulting global moves
+as the robot's option set — a subset of ``{IDLE, CW, CCW}``.  For a
+presentation-independent algorithm this is a singleton (or the pair
+``{CW, CCW}`` when the robot's views coincide and the direction genuinely
+belongs to the adversary); presentation-*dependent* algorithms (e.g. the
+sweep baseline) naturally expose larger option sets, which is exactly the
+adversarial behaviour the checker must explore.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+
+from ..core.configuration import Configuration
+from ..core.ring import CCW, CW, Edge, Ring
+from ..model.algorithm import Algorithm, DecisionCache
+from ..model.snapshot import Snapshot
+from .engine import ConfigurationPool
+
+__all__ = ["IDLE", "NodeActivation", "BranchTransition", "BranchingDriver"]
+
+#: Option encoding: stay on the current node.
+IDLE = 0
+
+Counts = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class NodeActivation:
+    """Activated robots on one node during one adversary step.
+
+    Attributes:
+        node: the occupied node.
+        idle: activated robots whose (adversarially presented) snapshot
+            made them decide to stay.
+        cw: activated robots moving clockwise (to ``node + 1``).
+        ccw: activated robots moving counter-clockwise (to ``node - 1``).
+    """
+
+    node: int
+    idle: int
+    cw: int
+    ccw: int
+
+    @property
+    def activated(self) -> int:
+        """Number of robots on the node performing a cycle this step."""
+        return self.idle + self.cw + self.ccw
+
+    def as_jsonable(self) -> Dict[str, int]:
+        """Plain-dict form used in serialised witnesses."""
+        return {"node": self.node, "idle": self.idle, "cw": self.cw, "ccw": self.ccw}
+
+
+#: One adversary step: the non-trivial node activations, sorted by node.
+Profile = Tuple[NodeActivation, ...]
+
+
+@dataclass(frozen=True)
+class BranchTransition:
+    """One edge of the branching transition relation.
+
+    Attributes:
+        profile: the activation profile that produces the transition.
+        counts_after: occupancy vector after the simultaneous moves.
+        moved: whether any robot changed node.
+        full: whether *every* robot performed a cycle this step (the
+            model checker's sound fairness witness: a cycle containing a
+            full step treats every robot fairly when looped forever).
+        activated_nodes: nodes holding at least one activated robot
+            (used by the sequential adversary's coverage-based fairness
+            test).
+        collision: whether some node ends up with more than one robot
+            (only meaningful for tasks enforcing exclusivity).
+        traversed: ring edges traversed by the moves (feeds the
+            clear/recontaminate dynamics of the searching task).
+    """
+
+    profile: Profile
+    counts_after: Counts
+    moved: bool
+    full: bool
+    activated_nodes: FrozenSet[int]
+    collision: bool
+    traversed: Tuple[Edge, ...]
+
+
+class BranchingDriver:
+    """Exhaustive one-step successor enumeration for one algorithm.
+
+    Args:
+        algorithm: the per-robot algorithm under analysis.
+        n: ring size.
+        multiplicity_detection: grant local multiplicity detection (the
+            gathering capability) when building snapshots.
+        pool_size: bound of the internal configuration pool; revisited
+            occupancy vectors reuse memoised gap/supermin/symmetry state.
+    """
+
+    def __init__(
+        self,
+        algorithm: Algorithm,
+        n: int,
+        *,
+        multiplicity_detection: bool = False,
+        pool_size: int = 1 << 15,
+    ) -> None:
+        self.algorithm = algorithm
+        self.n = n
+        self.ring = Ring(n)
+        self.multiplicity_detection = multiplicity_detection
+        self._pool = ConfigurationPool(pool_size)
+        self._decisions = DecisionCache(maxsize=1 << 15)
+        self._options_cache: Dict[Counts, Dict[int, Tuple[int, ...]]] = {}
+
+    # ------------------------------------------------------------------ #
+    # per-robot options
+    # ------------------------------------------------------------------ #
+    def configuration(self, counts: Counts) -> Configuration:
+        """Pooled configuration for a validated occupancy vector."""
+        return self._pool.configuration(counts)
+
+    def node_options(self, counts: Counts) -> Dict[int, Tuple[int, ...]]:
+        """Adversary-achievable outcomes per occupied node.
+
+        Returns, for every occupied node, the sorted tuple of global
+        outcomes (subset of ``(-1, 0, +1)``) an activated robot on that
+        node can be driven to by choosing the view presentation order.
+        Co-located robots share a snapshot and hence an option set.
+        """
+        cached = self._options_cache.get(counts)
+        if cached is not None:
+            return cached
+        configuration = self.configuration(counts)
+        options: Dict[int, Tuple[int, ...]] = {}
+        for node in configuration.support:
+            cw_view, ccw_view = configuration.views_of(node)
+            on_multiplicity = (
+                self.multiplicity_detection and configuration.multiplicity(node) > 1
+            )
+            outcomes = set()
+            for first_direction, views in ((CW, (cw_view, ccw_view)), (CCW, (ccw_view, cw_view))):
+                snapshot = Snapshot(n=self.n, views=views, on_multiplicity=on_multiplicity)
+                decision = self._decisions.compute(self.algorithm, snapshot)
+                if decision.is_idle:
+                    outcomes.add(IDLE)
+                else:
+                    outcomes.add(
+                        first_direction if decision.toward_view == 0 else -first_direction
+                    )
+            options[node] = tuple(sorted(outcomes))
+        self._options_cache[counts] = options
+        return options
+
+    # ------------------------------------------------------------------ #
+    # transition relation
+    # ------------------------------------------------------------------ #
+    def successors(self, counts: Counts, mode: str = "ssync") -> List[BranchTransition]:
+        """All one-step successors the adversary can force.
+
+        Args:
+            counts: current occupancy vector.
+            mode: ``"ssync"`` (any non-empty subset of robots performs an
+                atomic cycle) or ``"sequential"`` (exactly one robot).
+
+        Transitions are deduplicated: for ``"ssync"`` one representative
+        per ``(counts_after, traversed edges, full)`` triple, for
+        ``"sequential"`` one per ``(counts_after, traversed edges,
+        activated node)`` — the quotient the checker's reachability,
+        clear-edge and fairness tests actually distinguish.  (Traversed
+        edges are part of the key because distinct move sets can produce
+        the same occupancy — e.g. a simultaneous swap of two adjacent
+        robots — while clearing different edges.)
+        """
+        if mode == "ssync":
+            return self._ssync_successors(counts)
+        if mode == "sequential":
+            return self._sequential_successors(counts)
+        raise ValueError(f"unknown adversary mode {mode!r}; expected 'ssync' or 'sequential'")
+
+    def _sequential_successors(self, counts: Counts) -> List[BranchTransition]:
+        options = self.node_options(counts)
+        out: List[BranchTransition] = []
+        seen = set()
+        total_robots = sum(counts)
+        for node, node_opts in options.items():
+            for option in node_opts:
+                activation = NodeActivation(
+                    node=node,
+                    idle=1 if option == IDLE else 0,
+                    cw=1 if option == CW else 0,
+                    ccw=1 if option == CCW else 0,
+                )
+                transition = self._build_transition(
+                    counts, (activation,), full=(total_robots == 1)
+                )
+                key = (transition.counts_after, transition.traversed, node)
+                if key not in seen:
+                    seen.add(key)
+                    out.append(transition)
+        return out
+
+    def _ssync_successors(self, counts: Counts) -> List[BranchTransition]:
+        options = self.node_options(counts)
+        # Nodes whose robots can only idle never change the occupancy;
+        # they only matter for the "every robot activated" flag, so they
+        # are factored out of the combinatorial product below.
+        static_nodes = [v for v, opts in options.items() if opts == (IDLE,)]
+        dynamic_nodes = [v for v, opts in options.items() if opts != (IDLE,)]
+        static_robots = sum(counts[v] for v in static_nodes)
+        total_robots = sum(counts)
+
+        per_node_choices: List[List[Tuple[int, int, int, int]]] = []
+        for v in dynamic_nodes:
+            opts = options[v]
+            capacity = counts[v]
+            choices = []
+            for idle in range(capacity + 1) if IDLE in opts else (0,):
+                for cw in range(capacity - idle + 1) if CW in opts else (0,):
+                    remaining = capacity - idle - cw
+                    for ccw in range(remaining + 1) if CCW in opts else (0,):
+                        choices.append((v, idle, cw, ccw))
+            per_node_choices.append(choices)
+
+        out: List[BranchTransition] = []
+        seen = set()
+
+        def emit(profile_parts: Sequence[Tuple[int, int, int, int]], full: bool) -> None:
+            profile = tuple(
+                NodeActivation(node=v, idle=i, cw=c, ccw=w)
+                for (v, i, c, w) in sorted(profile_parts)
+                if i + c + w > 0
+            )
+            transition = self._build_transition(counts, profile, full=full)
+            key = (transition.counts_after, transition.traversed, full)
+            if key not in seen:
+                seen.add(key)
+                out.append(transition)
+
+        for combo in itertools.product(*per_node_choices):
+            activated_dynamic = sum(i + c + w for (_, i, c, w) in combo)
+            dynamic_fully_activated = all(
+                i + c + w == counts[v] for (v, i, c, w) in combo
+            )
+            # Full step: every robot cycles — all static robots idle and
+            # every dynamic node is fully activated.  Only possible when
+            # each dynamic node can absorb full activation with this
+            # split (the combo already says so).
+            if dynamic_fully_activated:
+                full_parts = list(combo) + [(v, counts[v], 0, 0) for v in static_nodes]
+                emit(full_parts, full=(activated_dynamic + static_robots == total_robots))
+            # Partial step: the chosen dynamic activations only.  Needs
+            # at least one activated robot; a pure-static activation
+            # realises the "nothing happens" step when available.
+            if 0 < activated_dynamic < total_robots:
+                emit(combo, full=False)
+            elif activated_dynamic == 0 and static_robots > 0 and total_robots > 1:
+                emit([(static_nodes[0], 1, 0, 0)], full=False)
+        return out
+
+    def _build_transition(
+        self, counts: Counts, profile: Profile, *, full: bool
+    ) -> BranchTransition:
+        new_counts = list(counts)
+        traversed: List[Edge] = []
+        moved = False
+        for activation in profile:
+            v = activation.node
+            movers = activation.cw + activation.ccw
+            if movers:
+                moved = True
+                new_counts[v] -= movers
+                if activation.cw:
+                    new_counts[(v + 1) % self.n] += activation.cw
+                    traversed.append(self.ring.edge_between(v, (v + 1) % self.n))
+                if activation.ccw:
+                    new_counts[(v - 1) % self.n] += activation.ccw
+                    traversed.append(self.ring.edge_between(v, (v - 1) % self.n))
+        counts_after = tuple(new_counts)
+        return BranchTransition(
+            profile=profile,
+            counts_after=counts_after,
+            moved=moved,
+            full=full,
+            activated_nodes=frozenset(a.node for a in profile),
+            collision=any(c > 1 for c in counts_after),
+            traversed=tuple(sorted(set(traversed))),
+        )
+
+    # ------------------------------------------------------------------ #
+    # replay
+    # ------------------------------------------------------------------ #
+    def apply(self, counts: Counts, profile: Iterable[NodeActivation]) -> Counts:
+        """Re-execute an activation profile, validating it first.
+
+        Raises:
+            ValueError: when the profile activates more robots than a
+                node holds, or drives a robot to an outcome the algorithm
+                cannot be made to produce under any view presentation.
+        """
+        options = self.node_options(counts)
+        new_counts = list(counts)
+        for activation in profile:
+            v = activation.node
+            if v not in options:
+                raise ValueError(f"profile activates unoccupied node {v}")
+            if activation.activated > counts[v]:
+                raise ValueError(
+                    f"profile activates {activation.activated} robots on node {v}, "
+                    f"which holds only {counts[v]}"
+                )
+            allowed = options[v]
+            for amount, option in (
+                (activation.idle, IDLE),
+                (activation.cw, CW),
+                (activation.ccw, CCW),
+            ):
+                if amount and option not in allowed:
+                    raise ValueError(
+                        f"profile drives node {v} to outcome {option}, "
+                        f"but the algorithm only allows {allowed}"
+                    )
+            new_counts[v] -= activation.cw + activation.ccw
+            new_counts[(v + 1) % self.n] += activation.cw
+            new_counts[(v - 1) % self.n] += activation.ccw
+        return tuple(new_counts)
+
+    def replay(self, counts: Counts, profiles: Iterable[Iterable[NodeActivation]]) -> List[Counts]:
+        """Replay a sequence of profiles; returns every intermediate vector.
+
+        The returned list starts with ``counts`` itself, so a witness of
+        ``m`` steps replays to ``m + 1`` vectors.
+        """
+        trajectory = [counts]
+        for profile in profiles:
+            counts = self.apply(counts, profile)
+            trajectory.append(counts)
+        return trajectory

@@ -27,31 +27,39 @@ from ..core.errors import (
     SimulationLimitError,
 )
 from ..core.ring import CCW, CW, Ring
-from ..model.algorithm import Algorithm, DecisionCache
+from ..model.algorithm import DEFAULT_DECISION_CACHE_SIZE, Algorithm, DecisionCache
 from ..model.robot import RobotState
 from ..model.snapshot import Snapshot
 from ..scheduler.base import Activation, ActivationKind, Scheduler
 from ..scheduler.sequential import SequentialScheduler
 from .trace import MoveRecord, Trace, TraceEvent
 
-__all__ = ["Simulator"]
+__all__ = ["Simulator", "ConfigurationPool"]
 
 #: Predicate over the engine used as a stop condition.
 StopCondition = Callable[["Simulator"], bool]
 
+#: Default bound of the engine's configuration pool (see ``config_pool_size``).
+DEFAULT_CONFIG_POOL_SIZE = 1024
 
-class _ConfigurationPool:
+
+class ConfigurationPool:
     """Bounded LRU of ``counts -> Configuration`` shared across steps.
 
     Perpetual algorithms revisit configurations, so pooling lets a
     revisited state reuse the same :class:`Configuration` object — and
     with it every memoised derived quantity (gap cycle, supermin view,
-    symmetry, canonical key) computed the first time around.
+    symmetry, canonical key) computed the first time around.  Also used
+    by the branching adversary driver
+    (:mod:`repro.simulator.branching`), which revisits configurations
+    far more aggressively than any single run.
     """
 
     __slots__ = ("maxsize", "_entries")
 
-    def __init__(self, maxsize: int = 1024) -> None:
+    def __init__(self, maxsize: int = DEFAULT_CONFIG_POOL_SIZE) -> None:
+        if maxsize < 1:
+            raise ValueError("ConfigurationPool maxsize must be >= 1")
         self.maxsize = maxsize
         self._entries: "OrderedDict[Tuple[int, ...], Configuration]" = OrderedDict()
 
@@ -65,6 +73,14 @@ class _ConfigurationPool:
         self._entries[counts] = configuration
         if len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
+
+    def configuration(self, counts: Tuple[int, ...]) -> Configuration:
+        """The pooled configuration for validated ``counts`` (built on miss)."""
+        cfg = self.get(counts)
+        if cfg is None:
+            cfg = Configuration.from_trusted_counts(counts)
+            self.put(counts, cfg)
+        return cfg
 
 
 class Simulator:
@@ -99,6 +115,12 @@ class Simulator:
             decision is a pure function of the snapshot).  On by default;
             disable to force one ``compute`` per Look, e.g. when timing
             an algorithm itself.  Traces are identical either way.
+        decision_cache_size: bound of the decision LRU (ignored when the
+            cache is disabled).  Any positive bound yields identical
+            traces — only the hit rate changes.
+        config_pool_size: bound of the configuration-pool LRU.  Any
+            positive bound yields identical traces; a larger pool keeps
+            more memoised derived state alive across revisits.
 
     The engine owns its state incrementally: an occupancy count array, a
     node-to-robots index and a monotonically bumped *state version* are
@@ -123,6 +145,8 @@ class Simulator:
         collision_policy: str = "raise",
         chirality: bool = False,
         decision_cache: bool = True,
+        decision_cache_size: int = DEFAULT_DECISION_CACHE_SIZE,
+        config_pool_size: int = DEFAULT_CONFIG_POOL_SIZE,
     ) -> None:
         if isinstance(initial, Configuration):
             configuration = initial
@@ -166,14 +190,14 @@ class Simulator:
             self._node_robots.setdefault(robot.position, []).append(robot.robot_id)
         self._pending: Set[int] = set()
         self._state_version = 0
-        self._config_pool = _ConfigurationPool()
+        self._config_pool = ConfigurationPool(config_pool_size)
         # The validated initial configuration doubles as the version-0
         # cache entry — no rebuild on first access.
         self._config_pool.put(configuration.counts, configuration)
         self._cached_configuration = configuration
         self._cached_version = 0
         self._decision_cache: Optional[DecisionCache] = (
-            DecisionCache() if decision_cache else None
+            DecisionCache(decision_cache_size) if decision_cache else None
         )
         self._trace = Trace(
             initial_configuration=configuration,
@@ -263,12 +287,7 @@ class Simulator:
         computed at most once per distinct configuration.
         """
         if self._cached_version != self._state_version:
-            counts = tuple(self._counts)
-            cfg = self._config_pool.get(counts)
-            if cfg is None:
-                cfg = Configuration.from_trusted_counts(counts)
-                self._config_pool.put(counts, cfg)
-            self._cached_configuration = cfg
+            self._cached_configuration = self._config_pool.configuration(tuple(self._counts))
             self._cached_version = self._state_version
         return self._cached_configuration
 

@@ -5,10 +5,10 @@ from __future__ import annotations
 from typing import Iterable, Optional, Sequence, Tuple, Union
 
 from ..core.configuration import Configuration
-from ..model.algorithm import Algorithm
+from ..model.algorithm import DEFAULT_DECISION_CACHE_SIZE, Algorithm
 from ..scheduler.base import Scheduler
 from ..tasks.base import Monitor
-from .engine import Simulator
+from .engine import DEFAULT_CONFIG_POOL_SIZE, Simulator
 from .trace import Trace
 
 __all__ = ["simulate", "run_to_configuration", "run_gathering", "default_step_budget"]
@@ -38,6 +38,8 @@ def simulate(
     collision_policy: str = "raise",
     chirality: bool = False,
     decision_cache: bool = True,
+    decision_cache_size: int = DEFAULT_DECISION_CACHE_SIZE,
+    config_pool_size: int = DEFAULT_CONFIG_POOL_SIZE,
     stop=None,
 ) -> Tuple[Trace, Simulator]:
     """Build a simulator, run it for ``steps`` steps and return trace + engine."""
@@ -53,6 +55,8 @@ def simulate(
         collision_policy=collision_policy,
         chirality=chirality,
         decision_cache=decision_cache,
+        decision_cache_size=decision_cache_size,
+        config_pool_size=config_pool_size,
     )
     trace = engine.run(steps, stop=stop)
     return trace, engine
@@ -72,6 +76,8 @@ def run_to_configuration(
     collision_policy: str = "raise",
     chirality: bool = False,
     decision_cache: bool = True,
+    decision_cache_size: int = DEFAULT_DECISION_CACHE_SIZE,
+    config_pool_size: int = DEFAULT_CONFIG_POOL_SIZE,
 ) -> Tuple[Trace, Simulator]:
     """Run until the configuration satisfies ``goal`` (a predicate).
 
@@ -91,6 +97,8 @@ def run_to_configuration(
         collision_policy=collision_policy,
         chirality=chirality,
         decision_cache=decision_cache,
+        decision_cache_size=decision_cache_size,
+        config_pool_size=config_pool_size,
     )
     trace = engine.run_until(lambda sim: goal(sim.configuration), budget)
     return trace, engine
@@ -106,6 +114,8 @@ def run_gathering(
     presentation_seed: Optional[int] = 0,
     chirality: bool = False,
     decision_cache: bool = True,
+    decision_cache_size: int = DEFAULT_DECISION_CACHE_SIZE,
+    config_pool_size: int = DEFAULT_CONFIG_POOL_SIZE,
 ) -> Tuple[Trace, Simulator]:
     """Run a gathering algorithm until all robots share one node.
 
@@ -123,6 +133,8 @@ def run_gathering(
         presentation_seed=presentation_seed,
         chirality=chirality,
         decision_cache=decision_cache,
+        decision_cache_size=decision_cache_size,
+        config_pool_size=config_pool_size,
     )
     trace = engine.run_until(lambda sim: sim.configuration.num_occupied == 1, budget)
     return trace, engine

@@ -10,6 +10,7 @@ machine-check the paper's invariants ("only one robot moves at a time",
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -142,6 +143,43 @@ class Trace:
             if predicate(event.configuration_after):
                 return event.step
         return None
+
+    # ------------------------------------------------------------------ #
+    # serialisation
+    # ------------------------------------------------------------------ #
+    def to_jsonable(self) -> Dict[str, object]:
+        """Plain-data rendering of the complete trace.
+
+        Every field that influences the execution is included, so two
+        runs serialise identically iff they took exactly the same steps.
+        """
+        return {
+            "initial_counts": list(self.initial_configuration.counts),
+            "initial_positions": list(self.initial_positions),
+            "stopped_reason": self.stopped_reason,
+            "events": [
+                {
+                    "step": e.step,
+                    "kind": e.kind.value,
+                    "robots": list(e.robots),
+                    "moves": [[m.robot_id, m.source, m.target] for m in e.moves],
+                    "after": list(e.configuration_after.counts),
+                    "collision": e.collision,
+                }
+                for e in self.events
+            ],
+        }
+
+    def canonical_bytes(self) -> bytes:
+        """Deterministic byte serialisation (sorted keys, fixed separators).
+
+        This is the representation the golden-trace regression tests
+        commit: two executions are byte-identical here iff they are
+        step-for-step identical.
+        """
+        return (
+            json.dumps(self.to_jsonable(), sort_keys=True, separators=(",", ":")) + "\n"
+        ).encode("utf-8")
 
     def summary(self) -> str:
         """Short human-readable description of the run."""

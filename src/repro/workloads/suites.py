@@ -126,6 +126,29 @@ SUITES: Dict[str, Dict[str, Suite]] = {
             pairs=((1, 4), (1, 5), (2, 5), (2, 6), (2, 7), (2, 8), (3, 5), (3, 6)),
         ),
     },
+    "e8": {
+        "quick": Suite(
+            name="e8",
+            description="Exhaustive model-checking verdicts vs feasibility + E6 game",
+            pairs=(
+                (1, 4), (2, 5), (3, 5), (2, 6), (3, 6), (2, 7), (3, 7), (4, 7),
+                (3, 8), (4, 8), (5, 8), (7, 10), (5, 11), (6, 11),
+            ),
+            samples_per_pair=1,
+            steps_factor=1,
+        ),
+        "full": Suite(
+            name="e8",
+            description="Model-checking verdicts, wider grid incl. n = 9 gathering and n = 11/12 searching",
+            pairs=(
+                (1, 4), (1, 5), (2, 5), (3, 5), (2, 6), (3, 6), (2, 7), (3, 7), (4, 7),
+                (3, 8), (4, 8), (5, 8), (2, 9), (3, 9), (4, 9), (5, 9), (6, 9),
+                (7, 10), (5, 11), (6, 11), (8, 11), (6, 12), (7, 12), (9, 12),
+            ),
+            samples_per_pair=1,
+            steps_factor=1,
+        ),
+    },
     "e7": {
         "quick": Suite(
             name="e7",

@@ -8,6 +8,7 @@ import pytest
 from repro.campaign import (
     ResultStore,
     build_campaign,
+    build_cells_campaign,
     derive_seed,
     run_campaign,
     run_experiment_campaign,
@@ -68,6 +69,23 @@ class TestSpec:
     def test_unknown_suite_rejected(self):
         with pytest.raises(KeyError):
             build_campaign("e99")
+
+    def test_cells_campaign_carries_extra_parameters(self):
+        campaign = build_cells_campaign(
+            "verify", "demo", "d", [(3, 6), (4, 8)],
+            extra=(("task", "gathering"), ("adversary", "ssync")),
+        )
+        assert campaign.num_units == 2
+        assert campaign.units[0].unit_id == "u000-k003-n006"
+        unit = campaign.units[1].as_dict()
+        assert unit["extra"] == {"task": "gathering", "adversary": "ssync"}
+        # Same cells, same ids and seeds — the resume invariant.
+        again = build_cells_campaign("verify", "demo", "d", [(3, 6), (4, 8)])
+        assert [u.seed for u in again.units] == [u.seed for u in campaign.units]
+
+    def test_default_units_have_empty_extra(self):
+        campaign = build_campaign("e7", "quick")
+        assert campaign.units[0].as_dict()["extra"] == {}
 
 
 class TestDeterminism:

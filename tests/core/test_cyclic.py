@@ -1,5 +1,7 @@
 """Unit and property tests for :mod:`repro.core.cyclic`."""
 
+from math import comb, gcd
+
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -172,3 +174,81 @@ class TestFixedSumGenerators:
         assert list(cyclic.iter_fixed_sum_necklaces(0, 0)) == [()]
         assert list(cyclic.iter_fixed_sum_necklaces(0, 3)) == []
         assert list(cyclic.iter_fixed_sum_necklaces(-1, 0)) == []
+
+
+def _totient(m):
+    count = 0
+    for value in range(1, m + 1):
+        if gcd(value, m) == 1:
+            count += 1
+    return count
+
+
+def binary_necklace_count(n, k):
+    """Burnside closed form: binary necklaces of ``n`` beads, ``k`` black.
+
+    Averaging fixed points over the rotation group :math:`C_n`:
+    :math:`\\frac{1}{n}\\sum_{d \\mid \\gcd(n,k)} \\varphi(d)\\binom{n/d}{k/d}`.
+    """
+    g = gcd(n, k)
+    total = sum(_totient(d) * comb(n // d, k // d) for d in range(1, g + 1) if g % d == 0)
+    assert total % n == 0
+    return total // n
+
+
+def binary_bracelet_count(n, k):
+    """Burnside closed form over the dihedral group :math:`D_n`.
+
+    Rotation term as in :func:`binary_necklace_count`; the reflection
+    term counts strings fixed by each axis (vertex axes have one or two
+    fixed beads, edge axes none).
+    """
+    g = gcd(n, k)
+    rotation_fixed = sum(
+        _totient(d) * comb(n // d, k // d) for d in range(1, g + 1) if g % d == 0
+    )
+    if n % 2 == 1:
+        reflection_fixed = n * comb((n - 1) // 2, k // 2)
+    else:
+        edge_axis = comb(n // 2, k // 2) if k % 2 == 0 else 0
+        if k % 2 == 0:
+            vertex_axis = comb((n - 2) // 2, k // 2) + (
+                comb((n - 2) // 2, (k - 2) // 2) if k >= 2 else 0
+            )
+        else:
+            vertex_axis = 2 * comb((n - 2) // 2, (k - 1) // 2)
+        reflection_fixed = (n // 2) * (edge_axis + vertex_axis)
+    total = rotation_fixed + reflection_fixed
+    assert total % (2 * n) == 0
+    return total // (2 * n)
+
+
+class TestGeneratorCountsMatchClosedForms:
+    """The fixed-sum generators agree with the Burnside closed forms.
+
+    A configuration of ``k`` robots on ``n`` nodes is a binary necklace
+    (bracelet) of ``n`` beads with ``k`` black ones; its gap cycle is a
+    fixed-sum sequence of length ``k`` summing to ``n - k``.  The
+    generators therefore must produce exactly the closed-form counts.
+    """
+
+    def test_all_cells_up_to_n14(self):
+        for n in range(1, 15):
+            for k in range(1, n + 1):
+                necklaces = sum(1 for _ in cyclic.iter_fixed_sum_necklaces(k, n - k))
+                bracelets = sum(1 for _ in cyclic.iter_fixed_sum_bracelets(k, n - k))
+                assert necklaces == binary_necklace_count(n, k), (n, k)
+                assert bracelets == binary_bracelet_count(n, k), (n, k)
+
+    @given(st.integers(min_value=1, max_value=16), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_random_cells_match(self, n, data):
+        k = data.draw(st.integers(min_value=1, max_value=n))
+        assert sum(1 for _ in cyclic.iter_fixed_sum_necklaces(k, n - k)) == binary_necklace_count(n, k)
+        assert sum(1 for _ in cyclic.iter_fixed_sum_bracelets(k, n - k)) == binary_bracelet_count(n, k)
+
+    @given(small_sequences)
+    def test_booth_canonical_vs_bruteforce_dihedral(self, seq):
+        """Booth-based canonical forms equal the brute-force minima."""
+        assert cyclic.canonical_rotation(seq) == min(cyclic.rotations(seq))
+        assert cyclic.canonical_dihedral(seq) == min(cyclic.all_dihedral_images(seq))

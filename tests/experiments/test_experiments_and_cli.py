@@ -34,8 +34,8 @@ class TestReportRendering:
 
 
 class TestExperimentRegistry:
-    def test_registry_contains_all_seven(self):
-        assert sorted(EXPERIMENTS) == ["e1", "e2", "e3", "e4", "e5", "e6", "e7"]
+    def test_registry_contains_all_eight(self):
+        assert sorted(EXPERIMENTS) == ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8"]
 
     def test_e1_quick_passes(self):
         result = e1_configuration_census.run("quick")
@@ -52,6 +52,26 @@ class TestExperimentRegistry:
         suite = Suite(name="x", description="d", pairs=((3, 9),))
         assert suite.samples_per_pair == 3
         assert suite.steps_factor == 30
+
+    def test_e8_quick_passes_and_agrees_everywhere(self):
+        from repro.experiments import e8_verification
+
+        result = e8_verification.run("quick")
+        assert result.passed
+        assert all(row[-1] == "yes" for row in result.rows)
+        # Feasible and infeasible cells are both represented...
+        verdicts = {row[4] for row in result.rows}
+        assert "solved" in verdicts
+        assert verdicts & {"collision", "livelock"}
+        # ...and at least one infeasible cell produced a concrete trace.
+        assert any("counterexample trace" in note for note in result.notes)
+
+    def test_e8_applicable_checks_cover_tasks(self):
+        from repro.experiments.e8_verification import applicable_checks
+
+        checks = {task for task, _, _ in applicable_checks(7, 10)}
+        assert checks == {"gathering", "align", "searching", "exploration"}
+        assert {task for task, _, _ in applicable_checks(2, 6)} == {"gathering", "searching"}
 
 
 class TestCli:

@@ -1,0 +1,141 @@
+"""Tests for the branching adversary driver."""
+
+import pytest
+
+from repro.algorithms import AlignAlgorithm, GatheringAlgorithm
+from repro.algorithms.baselines import IdleAlgorithm, SweepAlgorithm
+from repro.core.configuration import Configuration
+from repro.simulator.branching import IDLE, BranchingDriver, NodeActivation
+
+
+class TestNodeOptions:
+    def test_align_single_mover_deterministic(self):
+        driver = BranchingDriver(AlignAlgorithm(), 9)
+        counts = (1, 1, 0, 1, 0, 0, 1, 0, 0)
+        options = driver.node_options(counts)
+        movers = {node: opts for node, opts in options.items() if opts != (IDLE,)}
+        assert len(movers) == 1
+        (node, opts), = movers.items()
+        assert len(opts) == 1 and opts[0] in (-1, 1)
+
+    def test_symmetric_views_expose_both_directions(self):
+        # Two antipodal robots: each sees identical views, so the
+        # adversary owns the direction of any move.
+        driver = BranchingDriver(GatheringAlgorithm(), 6, multiplicity_detection=True)
+        options = driver.node_options((1, 0, 0, 1, 0, 0))
+        assert options == {0: (-1, 1), 3: (-1, 1)}
+
+    def test_presentation_dependence_surfaces_idle_and_move(self):
+        # Sweep moves iff the first presented view starts with a gap, so
+        # a robot with one empty and one occupied neighbour can be driven
+        # to idle or to move by choosing the presentation order.
+        driver = BranchingDriver(SweepAlgorithm(), 5)
+        options = driver.node_options((1, 1, 0, 0, 0))
+        assert options[0] == (-1, 0) or options[0] == (0, 1)
+
+    def test_idle_algorithm_only_idles(self):
+        driver = BranchingDriver(IdleAlgorithm(), 6)
+        options = driver.node_options((1, 0, 1, 0, 1, 0))
+        assert all(opts == (IDLE,) for opts in options.values())
+
+
+class TestSuccessors:
+    def test_full_flag_requires_every_robot(self):
+        driver = BranchingDriver(AlignAlgorithm(), 9)
+        counts = (1, 1, 0, 1, 0, 0, 1, 0, 0)
+        transitions = driver.successors(counts)
+        full = [t for t in transitions if t.full]
+        assert len(full) == 1
+        assert sum(a.activated for a in full[0].profile) == sum(counts)
+
+    def test_idle_self_loop_present(self):
+        driver = BranchingDriver(AlignAlgorithm(), 9)
+        counts = (1, 1, 0, 1, 0, 0, 1, 0, 0)
+        transitions = driver.successors(counts)
+        assert any(t.counts_after == counts and not t.moved for t in transitions)
+
+    def test_collision_flagged(self):
+        # Two robots either side of one empty node, both driven into it.
+        driver = BranchingDriver(SweepAlgorithm(), 5)
+        transitions = driver.successors((1, 0, 1, 0, 0))
+        collisions = [t for t in transitions if t.collision]
+        assert collisions
+        assert all(max(t.counts_after) > 1 for t in collisions)
+
+    def test_sequential_activates_single_robot(self):
+        driver = BranchingDriver(GatheringAlgorithm(), 6, multiplicity_detection=True)
+        for transition in driver.successors((1, 0, 0, 1, 0, 0), "sequential"):
+            assert sum(a.activated for a in transition.profile) == 1
+
+    def test_successor_counts_preserve_robots(self):
+        # A C*-type support with a pile, as reached mid-contraction.
+        driver = BranchingDriver(GatheringAlgorithm(), 7, multiplicity_detection=True)
+        counts = (1, 2, 0, 1, 0, 0, 0)
+        for transition in driver.successors(counts):
+            assert sum(transition.counts_after) == sum(counts)
+
+    def test_unknown_mode_rejected(self):
+        driver = BranchingDriver(IdleAlgorithm(), 5)
+        with pytest.raises(ValueError):
+            driver.successors((1, 0, 1, 0, 0), "async")
+
+    def test_multiplicity_partial_activation(self):
+        # Two robots piled on the contraction anchor of a C*-type
+        # support: the adversary may release any subset of the pile.
+        driver = BranchingDriver(GatheringAlgorithm(), 8, multiplicity_detection=True)
+        counts = (2, 1, 0, 1, 0, 0, 0, 0)
+        after = {t.counts_after for t in driver.successors(counts)}
+        assert (1, 2, 0, 1, 0, 0, 0, 0) in after  # one of the two moved
+        assert (0, 3, 0, 1, 0, 0, 0, 0) in after  # both moved
+
+
+class TestReplay:
+    def test_replay_matches_successors(self):
+        driver = BranchingDriver(AlignAlgorithm(), 9)
+        counts = (1, 1, 0, 1, 0, 0, 1, 0, 0)
+        for transition in driver.successors(counts):
+            assert driver.apply(counts, transition.profile) == transition.counts_after
+
+    def test_replay_rejects_unoccupied_node(self):
+        driver = BranchingDriver(IdleAlgorithm(), 5)
+        with pytest.raises(ValueError):
+            driver.apply((1, 0, 1, 0, 0), [NodeActivation(node=1, idle=1, cw=0, ccw=0)])
+
+    def test_replay_rejects_overfull_activation(self):
+        driver = BranchingDriver(IdleAlgorithm(), 5)
+        with pytest.raises(ValueError):
+            driver.apply((1, 0, 1, 0, 0), [NodeActivation(node=0, idle=2, cw=0, ccw=0)])
+
+    def test_replay_rejects_impossible_outcome(self):
+        driver = BranchingDriver(IdleAlgorithm(), 5)
+        with pytest.raises(ValueError):
+            driver.apply((1, 0, 1, 0, 0), [NodeActivation(node=0, idle=0, cw=1, ccw=0)])
+
+    def test_replay_trajectory(self):
+        driver = BranchingDriver(GatheringAlgorithm(), 6, multiplicity_detection=True)
+        counts = (1, 0, 0, 1, 0, 0)
+        transition = next(t for t in driver.successors(counts) if t.moved)
+        trajectory = driver.replay(counts, [transition.profile])
+        assert trajectory == [counts, transition.counts_after]
+
+
+class TestEngineConsistency:
+    def test_options_match_engine_decisions(self):
+        """The option sets cover what the engine actually computes.
+
+        The engine presents views in a seeded-random order; over many
+        seeds the executed decision of each robot must stay inside the
+        driver's option set for its node.
+        """
+        from repro.simulator.engine import Simulator
+
+        configuration = Configuration.from_occupied(9, (0, 1, 3, 6))
+        driver = BranchingDriver(AlignAlgorithm(), 9)
+        options = driver.node_options(configuration.counts)
+        for seed in range(20):
+            engine = Simulator(AlignAlgorithm(), configuration, presentation_seed=seed)
+            event = engine.step()
+            for move in event.moves:
+                direction = (move.target - move.source) % 9
+                outcome = 1 if direction == 1 else -1
+                assert outcome in options[move.source]
