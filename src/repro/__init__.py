@@ -43,7 +43,14 @@ from .scheduler import (
     SequentialScheduler,
     SynchronousScheduler,
 )
-from .simulator import Simulator, Trace, run_gathering, run_to_configuration, simulate
+from .simulator import (
+    EngineOptions,
+    Simulator,
+    Trace,
+    run_gathering,
+    run_to_configuration,
+    simulate,
+)
 from .tasks import ExplorationMonitor, GatheringMonitor, SearchingMonitor
 
 __version__ = "1.0.0"
@@ -78,6 +85,7 @@ __all__ = [
     "ScriptedScheduler",
     # simulator
     "Simulator",
+    "EngineOptions",
     "Trace",
     "simulate",
     "run_to_configuration",

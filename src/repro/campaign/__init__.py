@@ -55,14 +55,17 @@ def run_experiment_campaign(
     jobs: int = 1,
     store: Optional[Union[str, ResultStore]] = None,
     progress: Optional[ProgressCallback] = None,
+    cache=None,
 ) -> CampaignReport:
     """Build the campaign for an experiment suite and execute it.
 
     ``store`` may be a :class:`ResultStore` or a root directory path; in
     either case the run becomes resumable and writes ``summary.json``.
+    ``cache`` is an optional unit de-duplication cache (see
+    :func:`~repro.campaign.executor.run_campaign`).
     """
     campaign = build_campaign(experiment, variant)
     result_store = ResultStore(store) if isinstance(store, str) else store
     return run_campaign(
-        campaign, worker, jobs=jobs, store=result_store, progress=progress
+        campaign, worker, jobs=jobs, store=result_store, progress=progress, cache=cache
     )

@@ -22,7 +22,10 @@ the unit dictionary and returning a JSON-serialisable payload.
 
 from __future__ import annotations
 
+import multiprocessing
+import threading
 import traceback
+import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -40,6 +43,21 @@ Worker = Callable[[Dict[str, object]], Dict[str, object]]
 #: Progress callback: (completed, total, latest record).
 ProgressCallback = Callable[[int, int, Dict[str, object]], None]
 
+#: Record fields added by execution on top of the unit spec fields.
+_RESULT_FIELDS = ("status", "payload", "error", "duration_s")
+
+
+def _worker_name(worker: Worker) -> str:
+    """Stable worker identity used in unit de-duplication cache keys."""
+    module = getattr(worker, "__module__", "?")
+    name = getattr(worker, "__qualname__", getattr(worker, "__name__", repr(worker)))
+    return f"{module}:{name}"
+
+
+def _unit_fields(record: Dict[str, object]) -> Dict[str, object]:
+    """The unit-spec part of a finished record (result fields stripped)."""
+    return {k: v for k, v in record.items() if k not in _RESULT_FIELDS}
+
 
 @dataclass
 class CampaignReport:
@@ -49,12 +67,16 @@ class CampaignReport:
         campaign: the executed campaign.
         records: one record per unit, sorted by grid index.
         resumed: unit ids restored from the result store instead of run.
+        cached: unit ids served from the de-duplication cache instead
+            of run (identical work already executed, possibly under a
+            different campaign).
         summary_path: path of the written aggregate (with a store only).
     """
 
     campaign: Campaign
     records: List[Dict[str, object]] = field(default_factory=list)
     resumed: List[str] = field(default_factory=list)
+    cached: List[str] = field(default_factory=list)
     summary_path: Optional[str] = None
 
     @property
@@ -117,8 +139,24 @@ def _chunked(
     return [list(items[i : i + chunk_size]) for i in range(0, len(items), chunk_size)]
 
 
+def _make_pool(jobs: int) -> ProcessPoolExecutor:
+    """A worker pool safe for the calling context.
+
+    From the main thread the platform default start method is used (fork
+    on Linux: fastest).  From any other thread — e.g. a campaign run
+    dispatched by the HTTP service's worker pool — forking a
+    multithreaded process can deadlock the child on locks held by
+    sibling threads, so an explicit ``spawn`` context is used instead.
+    """
+    if threading.current_thread() is threading.main_thread():
+        return ProcessPoolExecutor(max_workers=jobs)
+    return ProcessPoolExecutor(
+        max_workers=jobs, mp_context=multiprocessing.get_context("spawn")
+    )
+
+
 class _Collector:
-    """Routes finished records to the report, the store and the callback."""
+    """Routes finished records to the report, store, cache and callback."""
 
     def __init__(
         self,
@@ -126,17 +164,24 @@ class _Collector:
         store: Optional[ResultStore],
         progress: Optional[ProgressCallback],
         total: int,
+        cache=None,
+        worker_name: Optional[str] = None,
     ) -> None:
         self._report = report
         self._store = store
         self._progress = progress
         self._total = total
+        self._cache = cache
+        self._worker_name = worker_name
         self._done = len(report.records)
 
     def add(self, record: Dict[str, object]) -> None:
         self._report.records.append(record)
         if self._store is not None:
             self._store.append(self._report.campaign.name, record)
+        if self._cache is not None and record.get("status") == "ok":
+            key = self._cache.unit_key(self._worker_name, _unit_fields(record))
+            self._cache.put(key, {"status": "ok", "payload": record.get("payload")})
         self._done += 1
         if self._progress is not None:
             self._progress(self._done, self._total, record)
@@ -163,7 +208,7 @@ def _run_parallel(
         reverse=True,
     )
     chunks = _chunked(pending, chunk_size)
-    pool = ProcessPoolExecutor(max_workers=jobs)
+    pool = _make_pool(jobs)
     try:
         futures = {
             pool.submit(_execute_chunk, worker, [u.as_dict() for u in chunk]): chunk
@@ -199,7 +244,7 @@ def _run_parallel(
                         if not harvested:
                             survivors.append(other_chunk)
                     pool.shutdown(wait=False)
-                    pool = ProcessPoolExecutor(max_workers=jobs)
+                    pool = _make_pool(jobs)
                     for unit in chunk:
                         retry = pool.submit(execute_unit, worker, unit.as_dict())
                         try:
@@ -212,7 +257,7 @@ def _run_parallel(
                                 )
                             )
                             pool.shutdown(wait=False)
-                            pool = ProcessPoolExecutor(max_workers=jobs)
+                            pool = _make_pool(jobs)
                     for chunk_ in survivors:
                         futures[
                             pool.submit(
@@ -231,6 +276,7 @@ def run_campaign(
     store: Optional[ResultStore] = None,
     progress: Optional[ProgressCallback] = None,
     chunk_size: Optional[int] = None,
+    cache=None,
 ) -> CampaignReport:
     """Execute every unit of ``campaign`` through ``worker``.
 
@@ -242,6 +288,11 @@ def run_campaign(
         progress: optional callback invoked after every finished unit.
         chunk_size: units per process-pool task; defaults to roughly
             four chunks per worker.
+        cache: optional content-addressed unit cache (duck-typed, e.g.
+            :class:`repro.runs.cache.ResultCache`): units whose
+            ``(worker, semantic spec)`` key is already stored are served
+            from it instead of executed — de-duplicating identical units
+            across campaigns — and fresh successes are stored back.
 
     Returns:
         The report with records sorted by grid index.  When a store is
@@ -250,6 +301,20 @@ def run_campaign(
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
     report = CampaignReport(campaign=campaign)
+    worker_name = _worker_name(worker)
+    if cache is not None and ("<lambda>" in worker_name or "<locals>" in worker_name):
+        # Dynamically defined workers share a qualname (every lambda at
+        # one scope is "<lambda>"), so the cache could serve one
+        # worker's payloads as another's.  Their identity is ambiguous —
+        # disable de-duplication rather than risk wrong results.
+        warnings.warn(
+            f"unit de-duplication cache disabled: worker {worker_name!r} is "
+            "dynamically defined and has no stable identity; use a "
+            "module-level function to enable caching",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        cache = None
 
     pending: List[UnitSpec] = []
     if store is not None:
@@ -264,7 +329,31 @@ def run_campaign(
     else:
         pending = list(campaign.units)
 
-    collector = _Collector(report, store, progress, total=campaign.num_units)
+    if cache is not None and pending:
+        # De-duplicate against previously executed identical units.  A
+        # cache-served record is rebuilt around *this* campaign's unit
+        # fields, so only the deterministic result part is shared and the
+        # aggregate summary stays byte-identical with a fresh run.
+        still_pending: List[UnitSpec] = []
+        for unit in pending:
+            unit_dict = unit.as_dict()
+            document = cache.get(cache.unit_key(worker_name, unit_dict))
+            if isinstance(document, dict) and document.get("status") == "ok":
+                record = dict(unit_dict)
+                record.update(status="ok", payload=document.get("payload"), error=None)
+                record["duration_s"] = 0.0
+                report.records.append(record)
+                report.cached.append(unit.unit_id)
+                if store is not None:
+                    store.append(campaign.name, record)
+            else:
+                still_pending.append(unit)
+        pending = still_pending
+
+    collector = _Collector(
+        report, store, progress, total=campaign.num_units,
+        cache=cache, worker_name=worker_name,
+    )
     if jobs == 1 or len(pending) <= 1:
         for unit in pending:
             collector.add(execute_unit(worker, unit.as_dict()))

@@ -10,38 +10,51 @@ reproduction experiments and a few utility commands::
     ringsim feasibility 14           # searching feasibility table up to n=14
     ringsim demo align 12 5          # watch Align run on a random rigid start
     ringsim verify gathering --k 3-5 --n 8   # exhaustive model check
+    ringsim serve --port 8421        # HTTP API over the same executor
+
+The ``demo``, ``verify`` and ``experiment``/``all`` subcommands all
+construct a declarative :class:`~repro.runs.spec.RunSpec` and hand it to
+:func:`repro.runs.execute.execute` — the same code path tests,
+benchmarks and the HTTP service use — so with ``--cache DIR`` (or the
+``REPRO_RUN_CACHE`` environment variable) a repeated invocation with an
+identical spec is served from the content-addressed result cache
+without re-running anything.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
-import random
+import os
 import sys
 from typing import List, Optional, Tuple
 
-from .algorithms.align import AlignAlgorithm
-from .algorithms.gathering import GatheringAlgorithm
-from .algorithms.nminusthree import NminusThreeAlgorithm
-from .algorithms.ring_clearing import RingClearingAlgorithm
 from .analysis.enumeration import census
 from .analysis.feasibility import feasibility_table
 from .experiments import EXPERIMENTS
 from .experiments.report import render_table
-from .model.algorithm import DEFAULT_DECISION_CACHE_SIZE
 from .modelcheck import TASKS as VERIFY_TASKS
-from .modelcheck.grid import DEFAULT_MAX_STATES, run_verify_campaign
-from .simulator.engine import DEFAULT_CONFIG_POOL_SIZE, Simulator
-from .workloads.generators import random_rigid_configuration
+from .modelcheck.grid import DEFAULT_MAX_STATES
+from .runs import ExperimentSpec, SimulateSpec, VerifySpec, execute
+from .simulator.options import (
+    DEFAULT_CONFIG_POOL_SIZE,
+    DEFAULT_DECISION_CACHE_SIZE,
+    EngineOptions,
+)
 
 __all__ = ["main", "build_parser", "parse_int_grid"]
 
+#: Demo-capable algorithms (a subset of :data:`repro.runs.ALGORITHMS`)
+#: mapped to the stop condition and engine model their task needs.
 _DEMO_ALGORITHMS = {
-    "align": AlignAlgorithm,
-    "ring-clearing": RingClearingAlgorithm,
-    "n-minus-three": NminusThreeAlgorithm,
-    "gathering": GatheringAlgorithm,
+    "align": {"stop": "c_star", "gathering": False},
+    "ring-clearing": {"stop": None, "gathering": False},
+    "n-minus-three": {"stop": None, "gathering": False},
+    "gathering": {"stop": "gathered", "gathering": True},
 }
+
+#: Environment variable providing the default result-cache directory.
+CACHE_ENV_VAR = "REPRO_RUN_CACHE"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -53,13 +66,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    exp = sub.add_parser("experiment", help="run one experiment (e1..e7)")
+    exp = sub.add_parser("experiment", help="run one experiment (e1..e8)")
     exp.add_argument("name", choices=sorted(EXPERIMENTS))
     exp.add_argument("--full", action="store_true", help="run the full (slow) variant")
     _add_campaign_arguments(exp)
+    _add_cache_arguments(exp)
 
     run_all = sub.add_parser("all", help="run every experiment (quick variants)")
     _add_campaign_arguments(run_all)
+    _add_cache_arguments(run_all)
 
     cen = sub.add_parser("census", help="configuration census for one (k, n)")
     cen.add_argument("n", type=int)
@@ -89,6 +104,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="M",
         help=f"bound of the engine's configuration-pool LRU (default: {DEFAULT_CONFIG_POOL_SIZE})",
     )
+    _add_cache_arguments(demo)
 
     verify = sub.add_parser(
         "verify",
@@ -116,6 +132,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the full verdict documents (witnesses included) as JSON",
     )
     _add_campaign_arguments(verify)
+    _add_cache_arguments(verify)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve the execution layer over HTTP (POST /v1/runs, GET /v1/runs/<id>)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8421)
+    serve.add_argument(
+        "--workers", type=_positive_int, default=2, metavar="N",
+        help="maximal number of concurrently executing runs (default: 2)",
+    )
+    serve.add_argument(
+        "--jobs", type=_positive_int, default=1, metavar="N",
+        help="worker processes each campaign-backed run may use (default: 1)",
+    )
+    serve.add_argument("--verbose", action="store_true", help="log every request to stderr")
+    # No --refresh here: the service decides per-request whether to
+    # execute, and a server-wide refresh flag would be misleading.
+    _add_cache_arguments(serve, include_refresh=False)
 
     return parser
 
@@ -127,12 +163,22 @@ def parse_int_grid(text: str) -> Tuple[int, ...]:
         part = part.strip()
         if "-" in part:
             low_text, high_text = part.split("-", 1)
-            low, high = int(low_text), int(high_text)
+            try:
+                low, high = int(low_text), int(high_text)
+            except ValueError:
+                raise argparse.ArgumentTypeError(
+                    f"malformed range {part!r} in grid expression {text!r}"
+                ) from None
             if high < low:
                 raise argparse.ArgumentTypeError(f"empty range {part!r}")
             values.extend(range(low, high + 1))
         elif part:
-            values.append(int(part))
+            try:
+                values.append(int(part))
+            except ValueError:
+                raise argparse.ArgumentTypeError(
+                    f"malformed value {part!r} in grid expression {text!r}"
+                ) from None
     if not values:
         raise argparse.ArgumentTypeError(f"no values in grid expression {text!r}")
     return tuple(dict.fromkeys(values))
@@ -166,6 +212,61 @@ def _add_campaign_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_cache_arguments(
+    parser: argparse.ArgumentParser, include_refresh: bool = True
+) -> None:
+    parser.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="content-addressed result-cache directory (default: the "
+        f"{CACHE_ENV_VAR} environment variable; unset disables caching)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the result cache even when "
+        f"{CACHE_ENV_VAR} is set (conflicts with --cache)",
+    )
+    if include_refresh:
+        parser.add_argument(
+            "--refresh",
+            action="store_true",
+            help="re-execute even on a cache hit and overwrite the cached result",
+        )
+
+
+def _resolve_cache(parser: argparse.ArgumentParser, args) -> Optional[str]:
+    """The cache directory for this invocation (flag > env > disabled)."""
+    if getattr(args, "no_cache", False):
+        if getattr(args, "cache", None):
+            parser.error("--cache and --no-cache conflict; pass at most one")
+        return None
+    return getattr(args, "cache", None) or os.environ.get(CACHE_ENV_VAR) or None
+
+
+def _validate_campaign_arguments(
+    parser: argparse.ArgumentParser, args, cache: Optional[str]
+) -> None:
+    """Reject store/cache paths that cannot possibly work before running.
+
+    ``cache`` is the *resolved* cache directory (flag or environment
+    variable), so a bad ``REPRO_RUN_CACHE`` is caught exactly like a bad
+    ``--cache``.
+    """
+    store = getattr(args, "store", None)
+    if store is not None and os.path.exists(store) and not os.path.isdir(store):
+        parser.error(f"--store {store!r} exists and is not a directory")
+    if cache is not None and os.path.exists(cache) and not os.path.isdir(cache):
+        parser.error(f"result cache {cache!r} exists and is not a directory")
+    if store is not None and cache is not None:
+        if os.path.abspath(store) == os.path.abspath(cache):
+            parser.error(
+                "the result-store and result-cache directories must differ "
+                "(the JSONL store and the content-addressed cache have incompatible layouts)"
+            )
+
+
 def _progress_printer(done: int, total: int, record) -> None:
     print(
         f"[{done}/{total}] {record.get('campaign')} {record.get('unit_id')} "
@@ -174,19 +275,32 @@ def _progress_printer(done: int, total: int, record) -> None:
     )
 
 
-def _run_experiment(name: str, full: bool, out, jobs: int = 1, store=None, progress: bool = False) -> int:
-    kwargs = {"jobs": jobs, "store": store}
-    if progress:
-        kwargs["progress"] = _progress_printer
-    result = EXPERIMENTS[name]("full" if full else "quick", **kwargs)
-    print(result.render(), file=out)
-    return 0 if result.passed else 1
+def _run_experiment(
+    name: str, full: bool, out, jobs: int = 1, store=None, progress: bool = False,
+    cache=None, refresh: bool = False,
+) -> int:
+    spec = ExperimentSpec(name=name, variant="full" if full else "quick")
+    result = execute(
+        spec,
+        jobs=jobs,
+        store=store,
+        progress=_progress_printer if progress else None,
+        cache=cache,
+        refresh=refresh,
+    )
+    print(result.payload["rendered"], file=out)
+    return 0 if result.payload["passed"] else 1
 
 
-def _run_all(out, jobs: int = 1, store=None, progress: bool = False) -> int:
+def _run_all(
+    out, jobs: int = 1, store=None, progress: bool = False, cache=None, refresh: bool = False
+) -> int:
     status = 0
     for name in sorted(EXPERIMENTS):
-        if _run_experiment(name, False, out, jobs=jobs, store=store, progress=progress):
+        if _run_experiment(
+            name, False, out,
+            jobs=jobs, store=store, progress=progress, cache=cache, refresh=refresh,
+        ):
             status = 1
         print("", file=out)
     return status
@@ -210,93 +324,81 @@ def _run_feasibility(max_n: int, task: str, out) -> int:
     return 0
 
 
-def _run_demo(
-    algorithm: str,
-    n: int,
-    k: int,
-    steps: int,
-    seed: int,
-    out,
-    decision_cache_size: int = 4096,
-    config_pool_size: int = 1024,
-) -> int:
-    rng = random.Random(seed)
-    configuration = random_rigid_configuration(n, k, rng)
-    cls = _DEMO_ALGORITHMS[algorithm]
-    gathering = algorithm == "gathering"
-    engine = Simulator(
-        cls(),
-        configuration,
-        exclusive=not gathering,
-        multiplicity_detection=gathering,
-        presentation_seed=seed,
-        decision_cache_size=decision_cache_size,
-        config_pool_size=config_pool_size,
-    )
-    print(f"initial: {configuration.ascii_art()}", file=out)
-    for _ in range(steps):
-        event = engine.step()
-        if event.moves:
-            print(f"step {event.step:4d}: {event.configuration_after.ascii_art()}", file=out)
-        if gathering and engine.configuration.num_occupied == 1:
-            print("gathered!", file=out)
-            break
-        if not gathering and engine.configuration.is_c_star() and algorithm == "align":
-            print("reached C*", file=out)
-            break
+def _run_demo(parser, args, out, cache=None) -> int:
+    refresh = getattr(args, "refresh", False)
+    profile = _DEMO_ALGORITHMS[args.algorithm]
+    gathering = profile["gathering"]
+    try:
+        spec = SimulateSpec(
+            algorithm=args.algorithm,
+            n=args.n,
+            k=args.k,
+            steps=args.steps,
+            seed=args.seed,
+            stop=profile["stop"],
+            engine=EngineOptions(
+                exclusive=not gathering,
+                multiplicity_detection=gathering,
+                presentation_seed=args.seed,
+                decision_cache_size=args.decision_cache_size,
+                config_pool_size=args.config_pool_size,
+            ),
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+    result = execute(spec, cache=cache, refresh=refresh)
+    payload = result.payload
+    print(f"initial: {payload['initial_art']}", file=out)
+    for frame in payload["frames"]:
+        print(f"step {frame['step']:4d}: {frame['art']}", file=out)
+    if gathering and payload["gathered"]:
+        print("gathered!", file=out)
+    elif args.algorithm == "align" and payload["reached_c_star"]:
+        print("reached C*", file=out)
     return 0
 
 
-def _run_verify(args, out) -> int:
+def _run_verify(parser, args, out, cache=None) -> int:
     ks, ns = args.k, args.n
     cells = [(k, n) for n in ns for k in ks if 1 <= k <= n and n >= 3]
     skipped = [(k, n) for n in ns for k in ks if not (1 <= k <= n and n >= 3)]
     if not cells:
         print("verify: no valid (k, n) cells in the requested grid", file=sys.stderr)
         return 2
-    report = run_verify_campaign(
-        args.task,
-        cells,
-        adversary=args.adversary,
-        max_states=args.max_states,
+    try:
+        spec = VerifySpec(
+            task=args.task,
+            cells=tuple(cells),
+            adversary=args.adversary,
+            max_states=args.max_states,
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+    result = execute(
+        spec,
         jobs=args.jobs,
         store=args.store,
         progress=_progress_printer if args.progress else None,
+        cache=cache,
+        refresh=getattr(args, "refresh", False),
     )
+    payload = result.payload
     header = (
         "task", "k", "n", "algorithm", "adversary", "verdict",
         "states", "transitions", "witness",
     )
-    rows = []
-    documents = []
-    conclusive = True
-    for record in report.records:
-        payload = record.get("payload")
-        if record.get("status") == "ok" and isinstance(payload, dict):
-            rows.append(tuple(payload["row"]))
-            documents.append(payload["result"])
-            if not payload.get("passed", True):
-                conclusive = False
-        else:
-            error = record.get("error") or {}
-            rows.append(
-                (args.task, record.get("k"), record.get("n"), "-", args.adversary,
-                 f"{record.get('status', 'error').upper()}",
-                 "-", "-", f"{error.get('type')}: {error.get('message')}")
-            )
-            conclusive = False
-    print(render_table(header, rows), file=out)
+    print(render_table(header, [tuple(row) for row in payload["rows"]]), file=out)
     if skipped:
         print(f"note: skipped invalid cells {skipped}", file=out)
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(
-                {"task": args.task, "adversary": args.adversary, "cells": documents},
+                {"task": args.task, "adversary": args.adversary, "cells": payload["cells"]},
                 handle, indent=2, sort_keys=True,
             )
             handle.write("\n")
         print(f"verdicts written to {args.json}", file=out)
-    return 0 if conclusive else 1
+    return 0 if payload["passed"] else 1
 
 
 def main(argv: Optional[List[str]] = None, out=None) -> int:
@@ -304,25 +406,38 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     out = out if out is not None else sys.stdout
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command == "experiment":
-        return _run_experiment(
-            args.name, args.full, out,
-            jobs=args.jobs, store=args.store, progress=args.progress,
-        )
-    if args.command == "all":
-        return _run_all(out, jobs=args.jobs, store=args.store, progress=args.progress)
     if args.command == "census":
         return _run_census(args.n, args.k, out)
     if args.command == "feasibility":
         return _run_feasibility(args.max_n, args.task, out)
-    if args.command == "demo":
-        return _run_demo(
-            args.algorithm, args.n, args.k, args.steps, args.seed, out,
-            decision_cache_size=args.decision_cache_size,
-            config_pool_size=args.config_pool_size,
+    cache = _resolve_cache(parser, args)
+    _validate_campaign_arguments(parser, args, cache)
+    if args.command == "experiment":
+        return _run_experiment(
+            args.name, args.full, out,
+            jobs=args.jobs, store=args.store, progress=args.progress, cache=cache,
+            refresh=args.refresh,
         )
+    if args.command == "all":
+        return _run_all(
+            out, jobs=args.jobs, store=args.store, progress=args.progress, cache=cache,
+            refresh=args.refresh,
+        )
+    if args.command == "demo":
+        return _run_demo(parser, args, out, cache=cache)
     if args.command == "verify":
-        return _run_verify(args, out)
+        return _run_verify(parser, args, out, cache=cache)
+    if args.command == "serve":
+        from .service import serve
+
+        return serve(
+            args.host,
+            args.port,
+            cache=cache,
+            workers=args.workers,
+            jobs=args.jobs,
+            verbose=args.verbose,
+        )
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

@@ -61,7 +61,7 @@ def run_unit(unit):
     }
 
 
-def run(variant: str = "quick", jobs: int = 1, store=None, progress=None) -> ExperimentResult:
+def run(variant: str = "quick", jobs: int = 1, store=None, progress=None, cache=None) -> ExperimentResult:
     """Run E4 and return its result table."""
     result = ExperimentResult(
         experiment="E4",
@@ -76,7 +76,7 @@ def run(variant: str = "quick", jobs: int = 1, store=None, progress=None) -> Exp
             "all-clear events",
         ),
     )
-    report = run_experiment_campaign("e4", variant, run_unit, jobs=jobs, store=store, progress=progress)
+    report = run_experiment_campaign("e4", variant, run_unit, jobs=jobs, store=store, progress=progress, cache=cache)
     result.apply_campaign_report(report)
     result.add_note("expected shape: all starts pass; the dedicated algorithm covers k = n - 3, which Ring Clearing does not")
     return result

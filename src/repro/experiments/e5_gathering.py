@@ -79,7 +79,7 @@ def run_unit(unit):
     }
 
 
-def run(variant: str = "quick", jobs: int = 1, store=None, progress=None) -> ExperimentResult:
+def run(variant: str = "quick", jobs: int = 1, store=None, progress=None, cache=None) -> ExperimentResult:
     """Run E5 and return its result table."""
     result = ExperimentResult(
         experiment="E5",
@@ -95,7 +95,7 @@ def run(variant: str = "quick", jobs: int = 1, store=None, progress=None) -> Exp
             "moves max",
         ),
     )
-    report = run_experiment_campaign("e5", variant, run_unit, jobs=jobs, store=store, progress=progress)
+    report = run_experiment_campaign("e5", variant, run_unit, jobs=jobs, store=store, progress=progress, cache=cache)
     result.apply_campaign_report(report)
     result.add_note(
         "expected shape: the paper's algorithm gathers from every rigid start; "

@@ -64,7 +64,7 @@ def run_unit(unit):
     }
 
 
-def run(variant: str = "quick", jobs: int = 1, store=None, progress=None) -> ExperimentResult:
+def run(variant: str = "quick", jobs: int = 1, store=None, progress=None, cache=None) -> ExperimentResult:
     """Run E6 and return its result table."""
     result = ExperimentResult(
         experiment="E6",
@@ -73,7 +73,7 @@ def run(variant: str = "quick", jobs: int = 1, store=None, progress=None) -> Exp
     )
     # 1. Game-solver cross-checks on the smallest infeasible cells
     #    (the grid part, run through the campaign layer).
-    report = run_experiment_campaign("e6", variant, run_unit, jobs=jobs, store=store, progress=progress)
+    report = run_experiment_campaign("e6", variant, run_unit, jobs=jobs, store=store, progress=progress, cache=cache)
     result.apply_campaign_report(report)
     # 2. Simulation cross-checks on feasible cells.
     for k, n in FEASIBLE_SAMPLE:

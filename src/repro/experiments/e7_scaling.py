@@ -102,7 +102,7 @@ def run_unit(unit):
     }
 
 
-def run(variant: str = "quick", jobs: int = 1, store=None, progress=None) -> ExperimentResult:
+def run(variant: str = "quick", jobs: int = 1, store=None, progress=None, cache=None) -> ExperimentResult:
     """Run E7 and return its result table."""
     result = ExperimentResult(
         experiment="E7",
@@ -117,7 +117,7 @@ def run(variant: str = "quick", jobs: int = 1, store=None, progress=None) -> Exp
             "full clear moves / n",
         ),
     )
-    report = run_experiment_campaign("e7", variant, run_unit, jobs=jobs, store=store, progress=progress)
+    report = run_experiment_campaign("e7", variant, run_unit, jobs=jobs, store=store, progress=progress, cache=cache)
     result.apply_campaign_report(report)
     result.add_note(
         "expected shape: align moves / (n*k) stays bounded by a small constant; "

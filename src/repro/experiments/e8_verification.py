@@ -104,7 +104,7 @@ def run_unit(unit: Dict[str, object]) -> Dict[str, object]:
     return {"rows": rows, "passed": passed, "counterexample": witness}
 
 
-def run(variant: str = "quick", jobs: int = 1, store=None, progress=None) -> ExperimentResult:
+def run(variant: str = "quick", jobs: int = 1, store=None, progress=None, cache=None) -> ExperimentResult:
     """Run E8 and return its result table."""
     result = ExperimentResult(
         experiment="E8",
@@ -114,9 +114,7 @@ def run(variant: str = "quick", jobs: int = 1, store=None, progress=None) -> Exp
             "states", "agrees",
         ),
     )
-    report = run_experiment_campaign(
-        "e8", variant, run_unit, jobs=jobs, store=store, progress=progress
-    )
+    report = run_experiment_campaign("e8", variant, run_unit, jobs=jobs, store=store, progress=progress, cache=cache)
     result.apply_campaign_report(report)
     counterexamples = [
         record["payload"].get("counterexample")

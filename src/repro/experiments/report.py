@@ -47,6 +47,13 @@ class ExperimentResult:
         rows: result rows.
         notes: free-form remarks (expected shapes, deviations, ...).
         passed: overall pass/fail of the experiment's internal checks.
+        transient_failures: number of campaign units that did not finish
+            (worker exception or process death) — a non-deterministic
+            outcome, as opposed to a deterministic ``passed=False``.
+        history_dependent_notes: number of notes describing *how* this
+            run was served (store resume, unit-cache hits) rather than
+            what it computed; a payload carrying such notes is not a
+            pure function of the spec.
     """
 
     experiment: str
@@ -55,6 +62,8 @@ class ExperimentResult:
     rows: List[Tuple[object, ...]] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
     passed: bool = True
+    transient_failures: int = 0
+    history_dependent_notes: int = 0
 
     def add_row(self, *values: object) -> None:
         """Append one row to the result table."""
@@ -94,10 +103,17 @@ class ExperimentResult:
                     f"{error.get('type')}: {error.get('message')}",
                 )
                 self.passed = False
+                self.transient_failures += 1
         if report.resumed:
             self.add_note(
                 f"{len(report.resumed)} unit(s) restored from the result store"
             )
+            self.history_dependent_notes += 1
+        if report.cached:
+            self.add_note(
+                f"{len(report.cached)} unit(s) served from the result cache"
+            )
+            self.history_dependent_notes += 1
 
     def render(self) -> str:
         """Full plain-text report for this experiment."""

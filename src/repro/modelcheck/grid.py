@@ -94,8 +94,11 @@ def run_verify_campaign(
     jobs: int = 1,
     store: Optional[Union[str, ResultStore]] = None,
     progress: Optional[ProgressCallback] = None,
+    cache=None,
 ) -> CampaignReport:
     """Build and execute a verification grid (the ``repro verify`` core)."""
     campaign = build_verify_campaign(task, cells, adversary=adversary, max_states=max_states)
     result_store = ResultStore(store) if isinstance(store, str) else store
-    return run_campaign(campaign, run_unit, jobs=jobs, store=result_store, progress=progress)
+    return run_campaign(
+        campaign, run_unit, jobs=jobs, store=result_store, progress=progress, cache=cache
+    )

@@ -1,0 +1,14 @@
+"""HTTP front door for the unified execution layer (``repro serve``).
+
+Exposes :class:`~repro.service.server.RunService` and the
+:func:`~repro.service.server.serve` entry point: a stdlib
+``ThreadingHTTPServer`` accepting :class:`~repro.runs.spec.RunSpec`
+documents on ``POST /v1/runs``, answering ``GET /v1/runs/<id>`` and
+``GET /v1/health``, all backed by a bounded worker pool over
+:func:`repro.runs.execute.execute` and the shared content-addressed
+result cache.
+"""
+
+from .server import RunRequestHandler, RunService, create_server, serve
+
+__all__ = ["RunRequestHandler", "RunService", "create_server", "serve"]

@@ -1,0 +1,408 @@
+"""The ``repro serve`` HTTP API: RunSpecs over the wire, stdlib only.
+
+Three endpoints, all JSON::
+
+    GET  /v1/health          liveness + version + queue counters
+    POST /v1/runs            submit a RunSpec document, get a run id
+    GET  /v1/runs/<id>       status / result of a submitted run
+
+The run id is the *content-addressed cache key* of the submitted spec
+(:func:`repro.runs.cache.cache_key`): submitting the same spec twice —
+from the same client or a different one — yields the same id, and once
+the first submission completes (or a previous process populated the
+shared :class:`~repro.runs.cache.ResultCache`), the second answers
+``done`` instantly from the cache.
+
+The server is a :class:`http.server.ThreadingHTTPServer` (one thread per
+connection, no new dependencies) in front of a *bounded* worker pool: at
+most ``workers`` runs execute concurrently, later submissions queue.
+Every run goes through the same :func:`repro.runs.execute.execute` code
+path as the CLI, tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple, Union
+
+from .. import __version__
+from ..runs.cache import ResultCache, as_result_cache, cache_key
+from ..runs.execute import execute
+from ..runs.spec import RunSpec, spec_from_jsonable
+
+__all__ = ["RunService", "RunRequestHandler", "ServiceBusy", "create_server", "serve"]
+
+
+class ServiceBusy(Exception):
+    """Raised by :meth:`RunService.submit` when the backlog is full."""
+
+#: Maximal accepted request body (a spec is tiny; anything bigger is abuse).
+MAX_BODY_BYTES = 1 << 20
+
+#: Run ids are SHA-256 hex digests; anything else is rejected before it
+#: can reach the cache (URL-supplied ids must never touch the filesystem
+#: unvalidated).
+_RUN_ID_RE = re.compile(r"^[0-9a-f]{64}$")
+
+
+class RunService:
+    """Run registry + bounded execution pool behind the HTTP handler.
+
+    Args:
+        cache: result cache (path or instance) shared with :func:`execute`;
+            ``None`` keeps results in memory only.
+        workers: maximal number of concurrently executing runs.
+        jobs: worker *processes* each campaign-backed run may use.
+        max_runs: bound on the in-memory run registry; when exceeded,
+            the oldest *settled* (done/error) entries are dropped.  With
+            a cache attached, dropped ``done`` runs remain answerable —
+            their run id is their cache key.  The same bound caps the
+            *unsettled* backlog: once ``max_runs`` runs are queued or
+            running, new submissions raise :class:`ServiceBusy`
+            (HTTP 429) instead of growing the queue without limit.
+    """
+
+    def __init__(
+        self,
+        cache: Optional[Union[str, ResultCache]] = None,
+        workers: int = 2,
+        jobs: int = 1,
+        max_runs: int = 1024,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if max_runs < 1:
+            raise ValueError("max_runs must be >= 1")
+        self._cache = as_result_cache(cache)
+        self._jobs = jobs
+        self._max_runs = max_runs
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-run"
+        )
+        self._lock = threading.Lock()
+        self._runs: Dict[str, Dict[str, object]] = {}
+
+    # ------------------------------------------------------------------ #
+    # public operations (one per endpoint)
+    # ------------------------------------------------------------------ #
+    def health(self) -> Dict[str, object]:
+        """Liveness document for ``GET /v1/health``."""
+        with self._lock:
+            by_status: Dict[str, int] = {}
+            for entry in self._runs.values():
+                status = str(entry["status"])
+                by_status[status] = by_status.get(status, 0) + 1
+        return {
+            "status": "ok",
+            "version": __version__,
+            "cache": self._cache.root if self._cache is not None else None,
+            "runs": by_status,
+        }
+
+    def submit(self, document: Dict[str, object]) -> Tuple[Dict[str, object], bool]:
+        """Handle ``POST /v1/runs``; returns ``(response, created)``.
+
+        ``created`` is ``False`` when the spec was already known — either
+        running/queued in this process or completed in the shared cache —
+        in which case no new work is scheduled.
+        """
+        spec = spec_from_jsonable(document)
+        run_id = cache_key(spec)
+
+        def _reusable_entry() -> Optional[Dict[str, object]]:
+            # An errored or transiently-failed run (worker death, disk
+            # full) is NOT reusable: a re-submission schedules a fresh
+            # attempt instead of pinning the stale failure forever.
+            entry = self._runs.get(run_id)
+            if (
+                entry is not None
+                and entry["status"] != "error"
+                and not entry.get("retryable", False)
+            ):
+                return entry
+            return None
+
+        with self._lock:
+            entry = _reusable_entry()
+            if entry is not None:
+                return self._view(run_id, entry), False
+        # The result-cache lookup is disk I/O — do it outside the lock
+        # so health/status requests are never stalled behind it.
+        stored = None
+        if self._cache is not None:
+            stored = self._cache.get(run_id)
+            # Whole-run entries carry both "spec" and "payload"; the
+            # check keeps same-store unit de-dup documents (which have
+            # only "payload") from masquerading as completed runs.
+            if stored is not None and not ("payload" in stored and "spec" in stored):
+                stored = None
+        with self._lock:
+            entry = _reusable_entry()  # another thread may have raced us
+            if entry is not None:
+                return self._view(run_id, entry), False
+            if stored is not None:
+                entry = {
+                    "status": "done",
+                    "spec": spec.to_jsonable(),
+                    "result": stored["payload"],
+                    "error": None,
+                    "cached": True,
+                }
+            else:
+                backlog = sum(
+                    1 for e in self._runs.values() if e["status"] in ("queued", "running")
+                )
+                if backlog >= self._max_runs:
+                    raise ServiceBusy(
+                        f"backlog full: {backlog} run(s) queued or running "
+                        f"(max_runs={self._max_runs}); retry later"
+                    )
+                entry = {
+                    "status": "queued",
+                    "spec": spec.to_jsonable(),
+                    "result": None,
+                    "error": None,
+                    "cached": False,
+                }
+            self._runs.pop(run_id, None)  # re-insert at the tail (newest)
+            self._runs[run_id] = entry
+            self._prune_locked()
+        if stored is not None:
+            return self._view(run_id, entry), False
+        self._pool.submit(self._run, run_id, spec)
+        return self._view(run_id, entry), True
+
+    def status(self, run_id: str) -> Optional[Dict[str, object]]:
+        """Handle ``GET /v1/runs/<id>``; ``None`` when the id is unknown.
+
+        The id comes straight from the URL: anything that is not a
+        SHA-256 hex digest is unknown by construction and — crucially —
+        must never reach the filesystem-backed cache.
+        """
+        if not _RUN_ID_RE.fullmatch(run_id):
+            return None
+        with self._lock:
+            entry = self._runs.get(run_id)
+            if entry is not None:
+                return self._view(run_id, entry)
+        # Not submitted through this process: a run id is a cache key, so
+        # a shared cache can still answer for a previous server's work.
+        if self._cache is not None:
+            stored = self._cache.get(run_id)
+            if stored is not None and "payload" in stored and "spec" in stored:
+                entry = {
+                    "status": "done",
+                    "spec": stored["spec"],
+                    "result": stored["payload"],
+                    "error": None,
+                    "cached": True,
+                }
+                with self._lock:
+                    self._runs.setdefault(run_id, entry)
+                    self._prune_locked()
+                return self._view(run_id, entry)
+        return None
+
+    def shutdown(self) -> None:
+        """Stop accepting work and wait for in-flight runs."""
+        self._pool.shutdown(wait=True)
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _prune_locked(self) -> None:
+        """Drop the oldest settled entries beyond ``max_runs`` (lock held).
+
+        Insertion order approximates age; queued/running entries are
+        never dropped, so an in-flight run always stays addressable.
+        """
+        excess = len(self._runs) - self._max_runs
+        if excess <= 0:
+            return
+        for run_id in [
+            rid for rid, e in self._runs.items() if e["status"] in ("done", "error")
+        ][:excess]:
+            del self._runs[run_id]
+
+    def _run(self, run_id: str, spec: RunSpec) -> None:
+        with self._lock:
+            self._runs[run_id]["status"] = "running"
+        try:
+            result = execute(spec, jobs=self._jobs, cache=self._cache)
+        except Exception as exc:  # noqa: BLE001 - surfaced to the client
+            with self._lock:
+                self._runs[run_id].update(
+                    status="error",
+                    error={"type": type(exc).__name__, "message": str(exc)},
+                )
+            return
+        with self._lock:
+            self._runs[run_id].update(
+                status="done",
+                result=result.payload,
+                cached=result.cached,
+                retryable=not result.deterministic,
+            )
+
+    @staticmethod
+    def _view(run_id: str, entry: Dict[str, object]) -> Dict[str, object]:
+        view: Dict[str, object] = {
+            "run_id": run_id,
+            "status": entry["status"],
+            "cached": entry.get("cached", False),
+        }
+        if entry["status"] == "done":
+            view["result"] = entry["result"]
+        if entry["status"] == "error":
+            view["error"] = entry["error"]
+        return view
+
+
+class RunRequestHandler(BaseHTTPRequestHandler):
+    """Thin JSON shim between HTTP and a :class:`RunService`."""
+
+    #: Injected by :func:`create_server`.
+    service: RunService = None  # type: ignore[assignment]
+    #: Silence per-request stderr logging unless enabled.
+    verbose = False
+
+    server_version = f"repro-serve/{__version__}"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------- #
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        if self.verbose:  # pragma: no cover - debug aid
+            super().log_message(format, *args)
+
+    def _send_json(
+        self, code: int, document: Dict[str, object], close: bool = False
+    ) -> None:
+        body = (json.dumps(document, sort_keys=True) + "\n").encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if close:
+            self.send_header("Connection", "close")
+            self.close_connection = True
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, code: int, message: str) -> None:
+        # Error paths may not have consumed the request body; on a
+        # keep-alive connection the unread bytes would be parsed as the
+        # next request, so always close after an error response.
+        self._send_json(code, {"error": message}, close=True)
+
+    def _read_json_body(self) -> Optional[Dict[str, object]]:
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            self._send_error_json(400, "invalid Content-Length")
+            return None
+        if length <= 0 or length > MAX_BODY_BYTES:
+            self._send_error_json(400, f"body must be 1..{MAX_BODY_BYTES} bytes")
+            return None
+        try:
+            document = json.loads(self.rfile.read(length).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self._send_error_json(400, f"invalid JSON body: {exc}")
+            return None
+        if not isinstance(document, dict):
+            self._send_error_json(400, "body must be a JSON object")
+            return None
+        return document
+
+    # -- endpoints ------------------------------------------------------ #
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        path = self.path.rstrip("/") or "/"
+        if path == "/v1/health":
+            self._send_json(200, self.service.health())
+            return
+        if path.startswith("/v1/runs/"):
+            run_id = path[len("/v1/runs/"):]
+            view = self.service.status(run_id)
+            if view is None:
+                self._send_error_json(404, f"unknown run id {run_id!r}")
+            else:
+                self._send_json(200, view)
+            return
+        self._send_error_json(404, f"no such endpoint: GET {self.path}")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        if self.path.rstrip("/") != "/v1/runs":
+            self._send_error_json(404, f"no such endpoint: POST {self.path}")
+            return
+        document = self._read_json_body()
+        if document is None:
+            return
+        # Accept either the bare spec document or {"spec": {...}}.
+        if "spec" in document and isinstance(document["spec"], dict):
+            document = document["spec"]
+        try:
+            view, created = self.service.submit(document)
+        except ServiceBusy as exc:
+            self._send_error_json(429, str(exc))
+            return
+        except (TypeError, ValueError) as exc:
+            self._send_error_json(400, str(exc))
+            return
+        self._send_json(202 if created else 200, view)
+
+
+def create_server(
+    host: str = "127.0.0.1",
+    port: int = 8421,
+    *,
+    service: Optional[RunService] = None,
+    cache: Optional[Union[str, ResultCache]] = None,
+    workers: int = 2,
+    jobs: int = 1,
+    verbose: bool = False,
+) -> ThreadingHTTPServer:
+    """Build a ready-to-run server (callers own ``serve_forever``).
+
+    ``port=0`` binds an ephemeral port (useful for tests); read the
+    bound address back from ``server.server_address``.
+    """
+    if service is None:
+        service = RunService(cache=cache, workers=workers, jobs=jobs)
+    handler = type(
+        "BoundRunRequestHandler",
+        (RunRequestHandler,),
+        {"service": service, "verbose": verbose},
+    )
+    server = ThreadingHTTPServer((host, port), handler)
+    server.daemon_threads = True
+    return server
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8421,
+    *,
+    cache: Optional[Union[str, ResultCache]] = None,
+    workers: int = 2,
+    jobs: int = 1,
+    verbose: bool = False,
+) -> int:
+    """Run the API server until interrupted (the ``repro serve`` core)."""
+    service = RunService(cache=cache, workers=workers, jobs=jobs)
+    server = create_server(
+        host, port, service=service, verbose=verbose
+    )
+    bound_host, bound_port = server.server_address[:2]
+    print(f"repro serve: listening on http://{bound_host}:{bound_port} "
+          f"(workers={workers}, jobs={jobs}, "
+          f"cache={service.health()['cache'] or 'disabled'})")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    finally:
+        server.server_close()
+        service.shutdown()
+    return 0

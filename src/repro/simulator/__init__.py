@@ -1,11 +1,13 @@
-"""Simulation engine, traces and high-level runners."""
+"""Simulation engine, traces, engine options and high-level runners."""
 
 from .engine import Simulator
+from .options import EngineOptions
 from .runner import default_step_budget, run_gathering, run_to_configuration, simulate
 from .trace import MoveRecord, Trace, TraceEvent
 
 __all__ = [
     "Simulator",
+    "EngineOptions",
     "Trace",
     "TraceEvent",
     "MoveRecord",

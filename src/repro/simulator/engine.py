@@ -27,20 +27,22 @@ from ..core.errors import (
     SimulationLimitError,
 )
 from ..core.ring import CCW, CW, Ring
-from ..model.algorithm import DEFAULT_DECISION_CACHE_SIZE, Algorithm, DecisionCache
+from ..model.algorithm import Algorithm, DecisionCache
 from ..model.robot import RobotState
 from ..model.snapshot import Snapshot
 from ..scheduler.base import Activation, ActivationKind, Scheduler
 from ..scheduler.sequential import SequentialScheduler
+from .options import DEFAULT_CONFIG_POOL_SIZE, EngineOptions
 from .trace import MoveRecord, Trace, TraceEvent
 
-__all__ = ["Simulator", "ConfigurationPool"]
+__all__ = ["Simulator", "ConfigurationPool", "DEFAULT_CONFIG_POOL_SIZE"]
 
 #: Predicate over the engine used as a stop condition.
 StopCondition = Callable[["Simulator"], bool]
 
-#: Default bound of the engine's configuration pool (see ``config_pool_size``).
-DEFAULT_CONFIG_POOL_SIZE = 1024
+#: Sentinel distinguishing "not passed" from any real keyword value, so
+#: explicitly passed keywords can override an ``options`` bundle.
+_UNSET = object()
 
 
 class ConfigurationPool:
@@ -96,6 +98,10 @@ class Simulator:
         ring_size: required when ``initial`` is a position sequence.
         scheduler: activation policy; defaults to a round-robin
             sequential scheduler.
+        options: an :class:`~repro.simulator.options.EngineOptions`
+            bundle carrying all the model/tuning knobs below in one
+            value object.  Individual keywords, when passed explicitly,
+            override the corresponding bundle field.
         exclusive: enforce the exclusivity property (at most one robot
             per node).  Violations raise :class:`CollisionError` unless
             ``collision_policy`` is ``"record"``.
@@ -138,16 +144,34 @@ class Simulator:
         *,
         ring_size: Optional[int] = None,
         scheduler: Optional[Scheduler] = None,
-        exclusive: bool = True,
-        multiplicity_detection: bool = False,
+        options: Optional[EngineOptions] = None,
+        exclusive=_UNSET,
+        multiplicity_detection=_UNSET,
         monitors: Iterable = (),
-        presentation_seed: Optional[int] = 0,
-        collision_policy: str = "raise",
-        chirality: bool = False,
-        decision_cache: bool = True,
-        decision_cache_size: int = DEFAULT_DECISION_CACHE_SIZE,
-        config_pool_size: int = DEFAULT_CONFIG_POOL_SIZE,
+        presentation_seed=_UNSET,
+        collision_policy=_UNSET,
+        chirality=_UNSET,
+        decision_cache=_UNSET,
+        decision_cache_size=_UNSET,
+        config_pool_size=_UNSET,
     ) -> None:
+        overrides = {
+            name: value
+            for name, value in (
+                ("exclusive", exclusive),
+                ("multiplicity_detection", multiplicity_detection),
+                ("presentation_seed", presentation_seed),
+                ("collision_policy", collision_policy),
+                ("chirality", chirality),
+                ("decision_cache", decision_cache),
+                ("decision_cache_size", decision_cache_size),
+                ("config_pool_size", config_pool_size),
+            )
+            if value is not _UNSET
+        }
+        options = (options or EngineOptions()).with_overrides(**overrides)
+        self._options = options
+        exclusive = options.exclusive
         if isinstance(initial, Configuration):
             configuration = initial
             positions: List[int] = []
@@ -164,8 +188,6 @@ class Simulator:
             raise ExclusivityViolationError(
                 "initial configuration violates the exclusivity property"
             )
-        if collision_policy not in ("raise", "record"):
-            raise ValueError("collision_policy must be 'raise' or 'record'")
 
         self._algorithm = algorithm
         self._ring = Ring(configuration.n)
@@ -174,11 +196,11 @@ class Simulator:
         ]
         self._scheduler = scheduler if scheduler is not None else SequentialScheduler()
         self._exclusive = exclusive
-        self._multiplicity_detection = multiplicity_detection
+        self._multiplicity_detection = options.multiplicity_detection
         self._monitors = list(monitors)
-        self._rng = random.Random(presentation_seed)
-        self._collision_policy = collision_policy
-        self._chirality = chirality
+        self._rng = random.Random(options.presentation_seed)
+        self._collision_policy = options.collision_policy
+        self._chirality = options.chirality
         self._step_count = 0
 
         # Incremental engine-owned state, updated in O(1) per executed
@@ -190,14 +212,14 @@ class Simulator:
             self._node_robots.setdefault(robot.position, []).append(robot.robot_id)
         self._pending: Set[int] = set()
         self._state_version = 0
-        self._config_pool = ConfigurationPool(config_pool_size)
+        self._config_pool = ConfigurationPool(options.config_pool_size)
         # The validated initial configuration doubles as the version-0
         # cache entry — no rebuild on first access.
         self._config_pool.put(configuration.counts, configuration)
         self._cached_configuration = configuration
         self._cached_version = 0
         self._decision_cache: Optional[DecisionCache] = (
-            DecisionCache(decision_cache_size) if decision_cache else None
+            DecisionCache(options.decision_cache_size) if options.decision_cache else None
         )
         self._trace = Trace(
             initial_configuration=configuration,
@@ -244,6 +266,11 @@ class Simulator:
     def trace(self) -> Trace:
         """The trace recorded so far."""
         return self._trace
+
+    @property
+    def options(self) -> EngineOptions:
+        """The resolved engine option bundle this engine runs under."""
+        return self._options
 
     @property
     def exclusive(self) -> bool:

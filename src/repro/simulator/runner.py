@@ -1,17 +1,74 @@
-"""High-level simulation helpers used by examples, experiments and tests."""
+"""High-level simulation helpers used by examples, experiments and tests.
+
+All three helpers take their engine knobs as one
+:class:`~repro.simulator.options.EngineOptions` bundle (``options=``).
+The historical per-knob keywords (``exclusive=...``,
+``collision_policy=...``, ``decision_cache_size=...``, ...) still work
+for one release but emit a :class:`DeprecationWarning`; they are folded
+into the bundle before the engine is built, so behaviour is identical.
+"""
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence, Tuple, Union
+import warnings
+from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
 
 from ..core.configuration import Configuration
-from ..model.algorithm import DEFAULT_DECISION_CACHE_SIZE, Algorithm
+from ..model.algorithm import Algorithm
 from ..scheduler.base import Scheduler
 from ..tasks.base import Monitor
-from .engine import DEFAULT_CONFIG_POOL_SIZE, Simulator
+from .engine import Simulator
+from .options import EngineOptions
 from .trace import Trace
 
 __all__ = ["simulate", "run_to_configuration", "run_gathering", "default_step_budget"]
+
+#: Legacy per-knob keywords accepted (deprecated) by the helpers below.
+_LEGACY_ENGINE_KEYWORDS = frozenset(EngineOptions.__dataclass_fields__)
+
+#: ``run_gathering`` historically fixed the task model (exclusivity off,
+#: multiplicity detection on) and never exposed these three keywords, so
+#: the shim must not quietly start accepting them.
+_GATHERING_LEGACY_KEYWORDS = _LEGACY_ENGINE_KEYWORDS - {
+    "exclusive",
+    "multiplicity_detection",
+    "collision_policy",
+}
+
+
+def _resolve_options(
+    caller: str,
+    options: Optional[EngineOptions],
+    legacy: Dict[str, object],
+    allowed: frozenset = _LEGACY_ENGINE_KEYWORDS,
+    **forced: object,
+) -> EngineOptions:
+    """Fold deprecated per-knob keywords into one options bundle.
+
+    Only ``allowed`` keywords — the ones the helper's pre-bundle
+    signature actually had — are accepted; anything else stays a
+    ``TypeError`` exactly as before.  ``forced`` fields (e.g.
+    ``run_gathering``'s ``exclusive=False``) are applied before the
+    legacy overrides.
+    """
+    unknown = set(legacy) - allowed
+    if unknown:
+        raise TypeError(
+            f"{caller}() got unexpected keyword argument(s) {sorted(unknown)}"
+        )
+    if legacy:
+        warnings.warn(
+            f"passing {sorted(legacy)} to {caller}() as individual keywords is "
+            "deprecated; build an EngineOptions and pass it as options=...",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    resolved = options if options is not None else EngineOptions()
+    if forced:
+        resolved = resolved.with_overrides(**forced)
+    if legacy:
+        resolved = resolved.with_overrides(**legacy)
+    return resolved
 
 
 def default_step_budget(n: int, k: int, factor: int = 12, floor: int = 200) -> int:
@@ -32,31 +89,19 @@ def simulate(
     scheduler: Optional[Scheduler] = None,
     steps: int = 1000,
     monitors: Iterable[Monitor] = (),
-    exclusive: bool = True,
-    multiplicity_detection: bool = False,
-    presentation_seed: Optional[int] = 0,
-    collision_policy: str = "raise",
-    chirality: bool = False,
-    decision_cache: bool = True,
-    decision_cache_size: int = DEFAULT_DECISION_CACHE_SIZE,
-    config_pool_size: int = DEFAULT_CONFIG_POOL_SIZE,
+    options: Optional[EngineOptions] = None,
     stop=None,
+    **legacy: object,
 ) -> Tuple[Trace, Simulator]:
     """Build a simulator, run it for ``steps`` steps and return trace + engine."""
+    resolved = _resolve_options("simulate", options, legacy)
     engine = Simulator(
         algorithm,
         initial,
         ring_size=ring_size,
         scheduler=scheduler,
-        exclusive=exclusive,
-        multiplicity_detection=multiplicity_detection,
         monitors=monitors,
-        presentation_seed=presentation_seed,
-        collision_policy=collision_policy,
-        chirality=chirality,
-        decision_cache=decision_cache,
-        decision_cache_size=decision_cache_size,
-        config_pool_size=config_pool_size,
+        options=resolved,
     )
     trace = engine.run(steps, stop=stop)
     return trace, engine
@@ -70,14 +115,8 @@ def run_to_configuration(
     scheduler: Optional[Scheduler] = None,
     max_steps: Optional[int] = None,
     monitors: Iterable[Monitor] = (),
-    exclusive: bool = True,
-    multiplicity_detection: bool = False,
-    presentation_seed: Optional[int] = 0,
-    collision_policy: str = "raise",
-    chirality: bool = False,
-    decision_cache: bool = True,
-    decision_cache_size: int = DEFAULT_DECISION_CACHE_SIZE,
-    config_pool_size: int = DEFAULT_CONFIG_POOL_SIZE,
+    options: Optional[EngineOptions] = None,
+    **legacy: object,
 ) -> Tuple[Trace, Simulator]:
     """Run until the configuration satisfies ``goal`` (a predicate).
 
@@ -85,20 +124,14 @@ def run_to_configuration(
         SimulationLimitError: if the goal is not reached within the
             (automatically sized) step budget.
     """
+    resolved = _resolve_options("run_to_configuration", options, legacy)
     budget = max_steps if max_steps is not None else default_step_budget(initial.n, initial.k)
     engine = Simulator(
         algorithm,
         initial,
         scheduler=scheduler,
-        exclusive=exclusive,
-        multiplicity_detection=multiplicity_detection,
         monitors=monitors,
-        presentation_seed=presentation_seed,
-        collision_policy=collision_policy,
-        chirality=chirality,
-        decision_cache=decision_cache,
-        decision_cache_size=decision_cache_size,
-        config_pool_size=config_pool_size,
+        options=resolved,
     )
     trace = engine.run_until(lambda sim: goal(sim.configuration), budget)
     return trace, engine
@@ -111,30 +144,29 @@ def run_gathering(
     scheduler: Optional[Scheduler] = None,
     max_steps: Optional[int] = None,
     monitors: Iterable[Monitor] = (),
-    presentation_seed: Optional[int] = 0,
-    chirality: bool = False,
-    decision_cache: bool = True,
-    decision_cache_size: int = DEFAULT_DECISION_CACHE_SIZE,
-    config_pool_size: int = DEFAULT_CONFIG_POOL_SIZE,
+    options: Optional[EngineOptions] = None,
+    **legacy: object,
 ) -> Tuple[Trace, Simulator]:
     """Run a gathering algorithm until all robots share one node.
 
     Convenience wrapper switching off exclusivity and switching on local
     multiplicity detection, as required by the gathering task.
     """
+    resolved = _resolve_options(
+        "run_gathering",
+        options,
+        legacy,
+        allowed=_GATHERING_LEGACY_KEYWORDS,
+        exclusive=False,
+        multiplicity_detection=True,
+    )
     budget = max_steps if max_steps is not None else default_step_budget(initial.n, initial.k)
     engine = Simulator(
         algorithm,
         initial,
         scheduler=scheduler,
-        exclusive=False,
-        multiplicity_detection=True,
         monitors=monitors,
-        presentation_seed=presentation_seed,
-        chirality=chirality,
-        decision_cache=decision_cache,
-        decision_cache_size=decision_cache_size,
-        config_pool_size=config_pool_size,
+        options=resolved,
     )
     trace = engine.run_until(lambda sim: sim.configuration.num_occupied == 1, budget)
     return trace, engine

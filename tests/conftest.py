@@ -1,0 +1,16 @@
+"""Shared test fixtures."""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolate_result_cache(monkeypatch):
+    """Keep tests away from any real result cache of the developer.
+
+    ``REPRO_RUN_CACHE`` makes every CLI invocation read/write a
+    persistent content-addressed cache; inherited from the environment
+    it would both pollute the developer's cache with test entries and
+    serve stale results to tests.  Tests that exercise the variable set
+    it explicitly via ``monkeypatch.setenv``.
+    """
+    monkeypatch.delenv("REPRO_RUN_CACHE", raising=False)

@@ -1,10 +1,11 @@
 """Tests for the experiment drivers, report rendering and the CLI."""
 
+import argparse
 import io
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import build_parser, main, parse_int_grid
 from repro.experiments import EXPERIMENTS
 from repro.experiments import e1_configuration_census, e6_feasibility_table
 from repro.experiments.report import ExperimentResult, render_table
@@ -132,3 +133,155 @@ class TestCli:
     def test_cli_rejects_unknown_experiment(self):
         with pytest.raises(SystemExit):
             main(["experiment", "e42"], out=io.StringIO())
+
+
+class TestCliErrorPaths:
+    def test_unknown_verify_task_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["verify", "conquest", "--k", "3", "--n", "6"], out=io.StringIO())
+
+    def test_unknown_demo_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["demo", "teleport", "12", "5"], out=io.StringIO())
+
+    @pytest.mark.parametrize("grid", ["", " , ", "3-x", "x", "5-3", "1-2-3x"])
+    def test_parse_int_grid_rejects_malformed(self, grid):
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_int_grid(grid)
+
+    def test_parse_int_grid_accepts_mixes(self):
+        assert parse_int_grid("2,4-6") == (2, 4, 5, 6)
+        assert parse_int_grid("3, 3,3-4") == (3, 4)
+
+    def test_malformed_grid_exits_with_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["verify", "gathering", "--k", "3-x", "--n", "6"], out=io.StringIO())
+        assert excinfo.value.code == 2
+        assert "malformed" in capsys.readouterr().err
+
+    def test_verify_grid_without_valid_cells_exits_2(self, capsys):
+        # k > n everywhere: every cell is invalid.
+        assert main(["verify", "gathering", "--k", "9", "--n", "4"], out=io.StringIO()) == 2
+        assert "no valid (k, n) cells" in capsys.readouterr().err
+
+    def test_cache_and_no_cache_conflict(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["experiment", "e1", "--cache", str(tmp_path), "--no-cache"],
+                out=io.StringIO(),
+            )
+        assert excinfo.value.code == 2
+
+    def test_store_pointing_at_a_file_rejected(self, tmp_path):
+        bogus = tmp_path / "store.json"
+        bogus.write_text("{}")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["experiment", "e1", "--store", str(bogus)], out=io.StringIO())
+        assert excinfo.value.code == 2
+
+    def test_store_and_cache_must_differ(self, tmp_path):
+        shared = str(tmp_path / "dir")
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["experiment", "e1", "--jobs", "2", "--store", shared, "--cache", shared],
+                out=io.StringIO(),
+            )
+        assert excinfo.value.code == 2
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "e1", "--jobs", "0"], out=io.StringIO())
+
+    def test_negative_demo_steps_is_a_usage_error_not_a_traceback(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["demo", "align", "12", "5", "--steps", "-1"], out=io.StringIO())
+        assert excinfo.value.code == 2
+        assert "steps must be >= 0" in capsys.readouterr().err
+
+    def test_serve_does_not_accept_refresh(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--refresh"])
+
+
+class TestCliResultCache:
+    def test_demo_second_invocation_is_a_cache_hit_with_zero_engine_steps(
+        self, tmp_path, monkeypatch
+    ):
+        cache = str(tmp_path / "cache")
+        argv = ["demo", "align", "12", "5", "--steps", "300", "--cache", cache]
+        first = io.StringIO()
+        assert main(argv, out=first) == 0
+        assert "reached C*" in first.getvalue()
+
+        from repro.simulator.engine import Simulator
+
+        def no_step(*args, **kwargs):  # pragma: no cover - must never run
+            raise AssertionError("engine stepped during a cached CLI run")
+
+        monkeypatch.setattr(Simulator, "step", no_step)
+        second = io.StringIO()
+        assert main(argv, out=second) == 0
+        assert second.getvalue() == first.getvalue()
+
+    def test_verify_second_invocation_served_from_cache(self, tmp_path, monkeypatch):
+        cache = str(tmp_path / "cache")
+        argv = ["verify", "searching", "--k", "3", "--n", "6", "--cache", cache]
+        first = io.StringIO()
+        assert main(argv, out=first) == 0
+
+        from repro.modelcheck.checker import ModelChecker
+
+        def no_run(*args, **kwargs):  # pragma: no cover - must never run
+            raise AssertionError("model checker ran during a cached CLI run")
+
+        monkeypatch.setattr(ModelChecker, "run", no_run)
+        second = io.StringIO()
+        assert main(argv, out=second) == 0
+        assert second.getvalue() == first.getvalue()
+
+    def test_cache_env_var_is_honoured(self, tmp_path, monkeypatch):
+        from repro.cli import CACHE_ENV_VAR
+
+        monkeypatch.setenv(CACHE_ENV_VAR, str(tmp_path / "envcache"))
+        out = io.StringIO()
+        assert main(["demo", "align", "12", "5", "--steps", "300"], out=out) == 0
+        assert (tmp_path / "envcache").is_dir()
+
+    def test_no_cache_disables_env_var(self, tmp_path, monkeypatch):
+        from repro.cli import CACHE_ENV_VAR
+
+        monkeypatch.setenv(CACHE_ENV_VAR, str(tmp_path / "envcache"))
+        out = io.StringIO()
+        assert main(["demo", "align", "12", "5", "--steps", "300", "--no-cache"], out=out) == 0
+        assert not (tmp_path / "envcache").exists()
+
+    def test_env_cache_pointing_at_a_file_rejected(self, tmp_path, monkeypatch):
+        from repro.cli import CACHE_ENV_VAR
+
+        bogus = tmp_path / "cache.json"
+        bogus.write_text("{}")
+        monkeypatch.setenv(CACHE_ENV_VAR, str(bogus))
+        with pytest.raises(SystemExit) as excinfo:
+            main(["demo", "align", "12", "5"], out=io.StringIO())
+        assert excinfo.value.code == 2
+
+    def test_refresh_re_executes_despite_cache(self, tmp_path, monkeypatch):
+        cache = str(tmp_path / "cache")
+        argv = ["demo", "align", "12", "5", "--steps", "300", "--cache", cache]
+        first = io.StringIO()
+        assert main(argv, out=first) == 0
+
+        from repro.simulator.engine import Simulator
+
+        steps = {"n": 0}
+        real_step = Simulator.step
+
+        def counting_step(self):
+            steps["n"] += 1
+            return real_step(self)
+
+        monkeypatch.setattr(Simulator, "step", counting_step)
+        second = io.StringIO()
+        assert main(argv + ["--refresh"], out=second) == 0
+        assert steps["n"] > 0, "--refresh must actually re-run the engine"
+        assert second.getvalue() == first.getvalue()

@@ -1,0 +1,89 @@
+"""Tests for tools/bench_compare.py: comparison, warnings and --update."""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+_TOOL_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+    "tools",
+    "bench_compare.py",
+)
+_spec = importlib.util.spec_from_file_location("bench_compare", _TOOL_PATH)
+bench_compare = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_compare)
+
+
+def _write_bench(path, experiment, workloads):
+    document = {
+        "experiment": experiment,
+        "workloads": {name: {"median_s": value} for name, value in workloads.items()},
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+    return str(path)
+
+
+class TestCompare:
+    def test_regressions_and_missing_are_separated(self):
+        baseline = {"e1": {"fast": 1.0}}
+        current = {"e1": {"fast": 2.0, "brand_new": 0.5}}
+        regressions, missing = bench_compare.compare(baseline, current, threshold=1.25)
+        assert [(r[0], r[1]) for r in regressions] == [("e1", "fast")]
+        assert missing == [("e1", "brand_new")]
+
+    def test_sub_noise_baselines_never_flag(self):
+        baseline = {"e1": {"tiny": 0.0001}}
+        current = {"e1": {"tiny": 10.0}}
+        regressions, missing = bench_compare.compare(baseline, current, threshold=1.25)
+        assert regressions == [] and missing == []
+
+
+class TestMainFlow:
+    def test_missing_baseline_key_warns_instead_of_failing(self, tmp_path, capsys):
+        baseline_path = tmp_path / "baselines.json"
+        baseline_path.write_text(json.dumps({"e1": {"known": 1.0}}))
+        bench = _write_bench(tmp_path / "BENCH_e1.json", "e1", {"known": 1.0, "fresh": 2.0})
+        code = bench_compare.main([bench, "--baseline", str(baseline_path), "--strict"])
+        out = capsys.readouterr().out
+        assert code == 0  # a missing key is a warning, never a failure
+        assert "no baseline entry" in out
+        assert "1 without baseline" in out
+
+    def test_strict_fails_on_regression(self, tmp_path):
+        baseline_path = tmp_path / "baselines.json"
+        baseline_path.write_text(json.dumps({"e1": {"w": 1.0}}))
+        bench = _write_bench(tmp_path / "BENCH_e1.json", "e1", {"w": 3.0})
+        assert bench_compare.main([bench, "--baseline", str(baseline_path)]) == 0
+        assert (
+            bench_compare.main([bench, "--baseline", str(baseline_path), "--strict"]) == 1
+        )
+
+    def test_update_merges_in_place_preserving_other_experiments(self, tmp_path):
+        baseline_path = tmp_path / "baselines.json"
+        baseline_path.write_text(
+            json.dumps({"e1": {"kept": 1.0, "remeasured": 9.0}, "e7": {"other": 4.0}})
+        )
+        bench = _write_bench(
+            tmp_path / "BENCH_e1.json", "e1", {"remeasured": 2.0, "added": 0.5}
+        )
+        assert bench_compare.main([bench, "--baseline", str(baseline_path), "--update"]) == 0
+        merged = json.loads(baseline_path.read_text())
+        assert merged["e1"] == {"kept": 1.0, "remeasured": 2.0, "added": 0.5}
+        assert merged["e7"] == {"other": 4.0}  # untouched experiment preserved
+
+    def test_update_bootstraps_a_missing_baseline(self, tmp_path):
+        baseline_path = tmp_path / "baselines.json"
+        bench = _write_bench(tmp_path / "BENCH_e1.json", "e1", {"w": 1.5})
+        assert bench_compare.main([bench, "--baseline", str(baseline_path), "--update"]) == 0
+        assert json.loads(baseline_path.read_text()) == {"e1": {"w": 1.5}}
+
+    def test_no_baseline_without_update_is_a_soft_pass(self, tmp_path, capsys):
+        bench = _write_bench(tmp_path / "BENCH_e1.json", "e1", {"w": 1.5})
+        code = bench_compare.main(
+            [bench, "--baseline", str(tmp_path / "absent.json"), "--strict"]
+        )
+        assert code == 0
+        assert "run with --update first" in capsys.readouterr().err

@@ -47,16 +47,40 @@ def load_bench_files(paths):
 
 
 def compare(baseline, current, threshold):
-    """Yield ``(experiment, workload, base_s, now_s, ratio)`` regressions."""
+    """Compare current medians against the baseline.
+
+    Returns ``(regressions, missing)`` where ``regressions`` is a list of
+    ``(experiment, workload, base_s, now_s, ratio)`` tuples and
+    ``missing`` lists ``(experiment, workload)`` keys that have no
+    baseline entry yet (new metrics — a warning, not an error).
+    """
+    regressions = []
+    missing = []
     for experiment, workloads in sorted(current.items()):
         base_workloads = baseline.get(experiment, {})
         for name, now_s in sorted(workloads.items()):
             base_s = base_workloads.get(name)
-            if base_s is None or base_s < MIN_COMPARABLE_S:
+            if base_s is None:
+                missing.append((experiment, name))
+                continue
+            if base_s < MIN_COMPARABLE_S:
                 continue
             ratio = now_s / base_s
             if ratio > threshold:
-                yield experiment, name, base_s, now_s, ratio
+                regressions.append((experiment, name, base_s, now_s, ratio))
+    return regressions, missing
+
+
+def merge_baseline(baseline, current):
+    """Fold ``current`` into ``baseline`` in place, preserving untouched keys.
+
+    Experiments and workloads not re-measured in this run keep their
+    committed values, so ``--update`` with a subset of BENCH files never
+    drops the rest of the baseline.
+    """
+    for experiment, workloads in current.items():
+        baseline.setdefault(experiment, {}).update(workloads)
+    return baseline
 
 
 def main(argv=None):
@@ -73,17 +97,26 @@ def main(argv=None):
         "--strict", action="store_true", help="exit non-zero when a hot path regressed"
     )
     parser.add_argument(
-        "--update", action="store_true", help="rewrite the baseline from the given files"
+        "--update",
+        action="store_true",
+        help="merge the given files into the baseline in place "
+        "(experiments not re-measured keep their committed values)",
     )
     args = parser.parse_args(argv)
 
     current = load_bench_files(args.files)
 
     if args.update:
+        baseline = {}
+        if os.path.exists(args.baseline):
+            with open(args.baseline, "r", encoding="utf-8") as handle:
+                baseline = json.load(handle)
+        merge_baseline(baseline, current)
         with open(args.baseline, "w", encoding="utf-8") as handle:
-            json.dump(current, handle, indent=2, sort_keys=True)
+            json.dump(baseline, handle, indent=2, sort_keys=True)
             handle.write("\n")
-        print(f"baseline updated: {args.baseline}")
+        updated = sum(len(w) for w in current.values())
+        print(f"baseline updated in place: {args.baseline} ({updated} workload(s) merged)")
         return 0
 
     if not os.path.exists(args.baseline):
@@ -93,14 +126,22 @@ def main(argv=None):
     with open(args.baseline, "r", encoding="utf-8") as handle:
         baseline = json.load(handle)
 
-    regressions = list(compare(baseline, current, args.threshold))
+    regressions, missing = compare(baseline, current, args.threshold)
+    for experiment, name in missing:
+        print(
+            f"WARNING: {experiment}/{name} has no baseline entry yet "
+            "(new metric?); record it with --update"
+        )
     for experiment, name, base_s, now_s, ratio in regressions:
         print(
             f"WARNING: {experiment}/{name} regressed {ratio:.2f}x "
             f"(baseline {base_s:.3f}s -> current {now_s:.3f}s)"
         )
     checked = sum(len(w) for w in current.values())
-    print(f"bench-compare: {checked} workload(s) checked, {len(regressions)} regression(s)")
+    print(
+        f"bench-compare: {checked} workload(s) checked, "
+        f"{len(regressions)} regression(s), {len(missing)} without baseline"
+    )
     if regressions and args.strict:
         return 1
     return 0
