@@ -22,7 +22,17 @@ import statistics
 import sys
 import time
 
-__all__ = ["emit"]
+__all__ = ["emit", "safe_rate"]
+
+
+def safe_rate(numerator, denominator):
+    """``numerator / denominator`` guarded against zero-duration timings.
+
+    Coarse clocks can measure a fast workload as 0.0 seconds; emitted
+    documents must stay strict-JSON (no ``Infinity``/``NaN``), so the
+    rate degrades to ``0.0`` instead.
+    """
+    return numerator / denominator if denominator > 0 else 0.0
 
 
 def emit(experiment, workloads, repeats=3, out_dir=None, extra=None):

@@ -64,7 +64,11 @@ def main():
     jobs = min(4, cpus)
     serial_s, _ = _timed_quick_campaign(1)
     parallel_s, _ = _timed_quick_campaign(jobs)
-    speedup = serial_s / parallel_s if parallel_s else float("inf")
+    from _harness import safe_rate
+
+    # 0.0 (never inf) when the clock measured no parallel time at all,
+    # keeping BENCH_e7.json strict-JSON on coarse clocks.
+    speedup = safe_rate(serial_s, parallel_s)
     print(
         f"[bench e7] campaign quick suite: serial {serial_s:.2f}s, "
         f"--jobs {jobs} {parallel_s:.2f}s, speedup {speedup:.2f}x "

@@ -93,9 +93,11 @@ def main():
     classes = sum(
         count_configurations(CENSUS_N, k) for k in range(1, CENSUS_N + 1)
     )
-    sweep_rate = ENGINE_STEPS / medians["engine-sweep-n60-k12"]
-    clearing_rate = ENGINE_STEPS / medians["engine-ring-clearing-n16-k8"]
-    census_rate = classes / medians["census-grid-n16"]
+    from _harness import safe_rate
+
+    sweep_rate = safe_rate(ENGINE_STEPS, medians["engine-sweep-n60-k12"])
+    clearing_rate = safe_rate(ENGINE_STEPS, medians["engine-ring-clearing-n16-k8"])
+    census_rate = safe_rate(classes, medians["census-grid-n16"])
     document.update(
         {
             "steps_per_sec": {

@@ -48,8 +48,8 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tup
 
 from ..core.configuration import Configuration
 from ..core.errors import SimulationLimitError, UnsupportedParametersError
-from ..core.ring import CCW, CW, Ring
-from ..tasks.searching import advance_clear_edges, guarded_edges
+from ..core.ring import Ring
+from ..tasks.searching import RingSearchDynamics
 from .enumeration import enumerate_configurations, iter_configurations
 from .graphs import tarjan_scc
 
@@ -58,9 +58,18 @@ __all__ = ["Option", "GameVerdict", "GameResult", "SearchGameSolver", "searching
 #: A robot observation class: the (sorted) pair of its two directed views.
 ObservationClass = Tuple[Tuple[int, ...], Tuple[int, ...]]
 
-#: A system state of the game: robot positions (indexed by robot identity,
-#: used only for fairness accounting) and the set of clear edges.
+#: A system state of the game: robot positions (indexed by robot
+#: identity, used only for fairness accounting) and the set of clear
+#: edges.  Internally the solver packs the whole state into one int —
+#: ``position-bits`` digits per robot with the clear-edge mask above
+#: them (see :mod:`repro.modelcheck.frontier` for the encoding idea) —
+#: so the reachability sets and SCC passes run over plain integers.
 GameState = Tuple[Tuple[int, ...], FrozenSet[Tuple[int, int]]]
+
+#: Per-node observation data shared by every candidate algorithm:
+#: ``(observation class, toward_min target, toward_max target,
+#: direction_ambiguous)``.
+_NodeInfo = Tuple[ObservationClass, Optional[int], Optional[int], bool]
 
 
 class Option(Enum):
@@ -117,6 +126,11 @@ class SearchGameSolver:
         self.k = k
         self.ring = Ring(n)
         self.max_states = max_states
+        self._dynamics = RingSearchDynamics(n)
+        self._position_bits = max(1, (n - 1).bit_length())
+        #: Observation data per occupied-set mask, shared across *all*
+        #: candidate algorithms (views do not depend on the candidate).
+        self._node_info: Dict[int, Dict[int, _NodeInfo]] = {}
         self._classes = self._collect_observation_classes()
         if len(self._classes) > max_classes:
             raise UnsupportedParametersError(
@@ -166,75 +180,65 @@ class SearchGameSolver:
     # ------------------------------------------------------------------ #
     # game dynamics for a fixed candidate algorithm
     # ------------------------------------------------------------------ #
-    def _initial_state(self, configuration: Configuration) -> GameState:
-        clear = advance_clear_edges(self.ring, set(), set(), configuration)
-        return (tuple(sorted(configuration.support)), frozenset(clear))
+    def _support_info(self, support_mask: int, occupied: Tuple[int, ...]) -> Dict[int, _NodeInfo]:
+        """Observation class and move targets per occupied node.
+
+        Candidate-independent — views are a property of the occupied set
+        alone — so this is computed once per support mask across the
+        whole ``3 ** classes`` candidate sweep, instead of once per
+        candidate as the pre-packed solver did.
+        """
+        info = self._node_info.get(support_mask)
+        if info is not None:
+            return info
+        n = self.n
+        configuration = Configuration.from_occupied(n, occupied)
+        info = {}
+        for node in occupied:
+            cw, ccw = configuration.views_of(node)
+            cls = self.observation_class(configuration, node)
+            if cw == ccw:
+                info[node] = (cls, None, None, True)
+            else:
+                min_is_cw = cw < ccw
+                toward_min = (node + 1) % n if min_is_cw else (node - 1) % n
+                toward_max = (node - 1) % n if min_is_cw else (node + 1) % n
+                info[node] = (cls, toward_min, toward_max, False)
+        self._node_info[support_mask] = info
+        return info
 
     def _decision_targets(
         self,
         positions: Tuple[int, ...],
         assignment: Dict[ObservationClass, Option],
-        cache: Dict[Tuple[int, ...], Dict[int, List[Optional[int]]]],
-    ) -> Dict[int, List[Optional[int]]]:
+        cache: Dict[int, Dict[int, Tuple[Optional[int], ...]]],
+    ) -> Dict[int, Tuple[Optional[int], ...]]:
         """Possible landing nodes of each robot (by node) when activated.
 
         ``None`` means staying idle; two targets appear only when the
         robot's two views coincide and the adversary chooses the direction.
         """
-        key = tuple(sorted(set(positions)))
-        if key in cache:
-            return cache[key]
-        configuration = Configuration.from_occupied(self.n, key)
-        targets: Dict[int, List[Optional[int]]] = {}
-        for node in key:
-            cw, ccw = configuration.views_of(node)
-            option = assignment[self.observation_class(configuration, node)]
+        support_mask = 0
+        for p in positions:
+            support_mask |= 1 << p
+        targets = cache.get(support_mask)
+        if targets is not None:
+            return targets
+        n = self.n
+        info = self._support_info(support_mask, tuple(sorted(set(positions))))
+        targets = {}
+        for node, (cls, toward_min, toward_max, ambiguous) in info.items():
+            option = assignment[cls]
             if option is Option.IDLE:
-                targets[node] = [None]
-            elif cw == ccw:
-                targets[node] = [(node + 1) % self.n, (node - 1) % self.n]
+                targets[node] = (None,)
+            elif ambiguous:
+                targets[node] = ((node + 1) % n, (node - 1) % n)
             else:
-                min_is_cw = cw < ccw
-                toward_min = (node + 1) % self.n if min_is_cw else (node - 1) % self.n
-                toward_max = (node - 1) % self.n if min_is_cw else (node + 1) % self.n
-                targets[node] = [toward_min if option is Option.TOWARD_MIN else toward_max]
-        cache[key] = targets
+                targets[node] = (
+                    toward_min if option is Option.TOWARD_MIN else toward_max,
+                )
+        cache[support_mask] = targets
         return targets
-
-    def _successors(
-        self,
-        state: GameState,
-        assignment: Dict[ObservationClass, Option],
-        cache: Dict[Tuple[int, ...], Dict[int, List[Optional[int]]]],
-    ) -> List[Tuple[GameState, bool, FrozenSet[int]]]:
-        """All adversary successors of a state.
-
-        Returns tuples ``(next_state, collision, activated_robot_ids)``.
-        """
-        positions, clear = state
-        k = len(positions)
-        targets_by_node = self._decision_targets(positions, assignment, cache)
-        successors: List[Tuple[GameState, bool, FrozenSet[int]]] = []
-        for subset_size in range(1, k + 1):
-            for subset in itertools.combinations(range(k), subset_size):
-                per_robot_choices = [targets_by_node[positions[robot]] for robot in subset]
-                activated = frozenset(subset)
-                for choice in itertools.product(*per_robot_choices):
-                    new_positions = list(positions)
-                    traversed: Set[Tuple[int, int]] = set()
-                    for robot, target in zip(subset, choice):
-                        if target is not None:
-                            traversed.add(self.ring.edge_between(positions[robot], target))
-                            new_positions[robot] = target
-                    if len(set(new_positions)) < k:
-                        successors.append((state, True, activated))
-                        continue
-                    new_configuration = Configuration.from_occupied(self.n, new_positions)
-                    new_clear = advance_clear_edges(
-                        self.ring, set(clear), traversed, new_configuration
-                    )
-                    successors.append(((tuple(new_positions), frozenset(new_clear)), False, activated))
-        return successors
 
     def _adversary_wins(
         self, initial: Configuration, assignment: Dict[ObservationClass, Option]
@@ -246,39 +250,103 @@ class SearchGameSolver:
         set of states in which the edge is never clear and whose internal
         transitions collectively activate every robot (so the adversary
         can loop there forever without starving any robot).
+
+        The exploration runs entirely over packed integer states —
+        positions digits with the clear-edge bitmask above them — with
+        the clear/recontaminate dynamics served by the shared
+        interval-mask :class:`~repro.tasks.searching.RingSearchDynamics`
+        memo.  Traversal order, the collision early-exit and the
+        ``max_states`` cap behave exactly as the tuple-state
+        implementation did.
         """
-        cache: Dict[Tuple[int, ...], Dict[int, List[Optional[int]]]] = {}
-        start = self._initial_state(initial)
-        states: Set[GameState] = {start}
-        edges: Dict[GameState, List[Tuple[GameState, FrozenSet[int]]]] = {}
-        frontier = [start]
+        cache: Dict[int, Dict[int, Tuple[Optional[int], ...]]] = {}
+        dynamics = self._dynamics
+        n = self.n
+        position_bits = self._position_bits
+        positions = tuple(sorted(initial.support))
+        k = len(positions)
+        support_mask = 0
+        for p in positions:
+            support_mask |= 1 << p
+        clear = dynamics.initial_clear(support_mask)
+        clear_shift = k * position_bits
+
+        def pack(pos: Tuple[int, ...], clear_mask: int) -> int:
+            packed = clear_mask
+            for p in pos:
+                packed = (packed << position_bits) | p
+            return packed
+
+        start = pack(positions, clear)
+        states: Set[int] = {start}
+        edges: Dict[int, List[Tuple[int, int]]] = {}
+        frontier: List[Tuple[int, Tuple[int, ...], int]] = [(start, positions, clear)]
         while frontier:
-            state = frontier.pop()
-            outgoing: List[Tuple[GameState, FrozenSet[int]]] = []
-            for next_state, collision, activated in self._successors(state, assignment, cache):
-                if collision:
-                    return True
-                outgoing.append((next_state, activated))
-                if next_state not in states:
-                    states.add(next_state)
-                    if len(states) > self.max_states:
-                        raise SimulationLimitError(
-                            f"game state space exceeded {self.max_states} states"
-                        )
-                    frontier.append(next_state)
-            edges[state] = outgoing
-        num_robots = len(start[0])
-        for ring_edge in self.ring.edges():
-            bad_states = {s for s in states if ring_edge not in s[1]}
-            if self._fair_trap_exists(bad_states, edges, num_robots):
+            packed, positions, clear = frontier.pop()
+            targets_by_node = self._decision_targets(positions, assignment, cache)
+            outgoing: List[Tuple[int, int]] = []
+            seen_edges: Set[Tuple[int, int]] = set()
+            for subset_size in range(1, k + 1):
+                for subset in itertools.combinations(range(k), subset_size):
+                    per_robot_choices = [
+                        targets_by_node[positions[robot]] for robot in subset
+                    ]
+                    robots_mask = 0
+                    for robot in subset:
+                        robots_mask |= 1 << robot
+                    for choice in itertools.product(*per_robot_choices):
+                        new_positions = list(positions)
+                        traversed = 0
+                        for robot, target in zip(subset, choice):
+                            if target is not None:
+                                source = positions[robot]
+                                traversed |= 1 << (
+                                    source if (source + 1) % n == target else target
+                                )
+                                new_positions[robot] = target
+                        new_support = 0
+                        collision = False
+                        for p in new_positions:
+                            bit = 1 << p
+                            if new_support & bit:
+                                collision = True
+                                break
+                            new_support |= bit
+                        if collision:
+                            return True
+                        new_clear = dynamics.advance(new_support, clear | traversed)
+                        next_packed = pack(tuple(new_positions), new_clear)
+                        edge = (next_packed, robots_mask)
+                        if edge not in seen_edges:
+                            # Distinct move sets can reach the same packed
+                            # state with the same activated robots; the
+                            # fair-trap test only sees the (target,
+                            # robots) pair, so duplicates are dropped.
+                            seen_edges.add(edge)
+                            outgoing.append(edge)
+                        if next_packed not in states:
+                            states.add(next_packed)
+                            if len(states) > self.max_states:
+                                raise SimulationLimitError(
+                                    f"game state space exceeded {self.max_states} states"
+                                )
+                            frontier.append(
+                                (next_packed, tuple(new_positions), new_clear)
+                            )
+            edges[packed] = outgoing
+        all_robots = (1 << k) - 1
+        for i in range(n):
+            edge_bit = 1 << (clear_shift + i)
+            bad_states = {s for s in states if not s & edge_bit}
+            if self._fair_trap_exists(bad_states, edges, all_robots):
                 return True
         return False
 
     @staticmethod
     def _fair_trap_exists(
-        bad_states: Set[GameState],
-        edges: Dict[GameState, List[Tuple[GameState, FrozenSet[int]]]],
-        num_robots: int,
+        bad_states: Set[int],
+        edges: Dict[int, List[Tuple[int, int]]],
+        all_robots: int,
     ) -> bool:
         """Fair-trap test: an SCC inside ``bad_states`` whose transitions cover all robots.
 
@@ -287,21 +355,21 @@ class SearchGameSolver:
         component of the restricted graph, and the transitions used
         infinitely often activate every robot; conversely any such SCC can
         be turned into a fair infinite run.  The test is therefore exact
-        for the semi-synchronous adversary.
+        for the semi-synchronous adversary.  States are packed ints and
+        robot sets are bitmasks (``all_robots`` is the full mask).
         """
         if not bad_states:
             return False
-        restricted: Dict[GameState, List[Tuple[GameState, FrozenSet[int]]]] = {
+        restricted: Dict[int, List[Tuple[int, int]]] = {
             s: [(t, robots) for (t, robots) in edges.get(s, []) if t in bad_states]
             for s in bad_states
         }
         components = tarjan_scc(
             {s: [t for (t, _) in outgoing] for s, outgoing in restricted.items()}
         )
-        all_robots = frozenset(range(num_robots))
         for component in components:
             members = set(component)
-            covered: Set[int] = set()
+            covered = 0
             has_internal_edge = False
             for member in component:
                 for target, robots in restricted.get(member, []):

@@ -139,7 +139,7 @@ def _chunked(
     return [list(items[i : i + chunk_size]) for i in range(0, len(items), chunk_size)]
 
 
-def _make_pool(jobs: int) -> ProcessPoolExecutor:
+def make_pool(jobs: int) -> ProcessPoolExecutor:
     """A worker pool safe for the calling context.
 
     From the main thread the platform default start method is used (fork
@@ -147,12 +147,20 @@ def _make_pool(jobs: int) -> ProcessPoolExecutor:
     dispatched by the HTTP service's worker pool — forking a
     multithreaded process can deadlock the child on locks held by
     sibling threads, so an explicit ``spawn`` context is used instead.
+
+    Shared with the frontier engine's sharded exploration
+    (:mod:`repro.modelcheck.frontier`), so every process pool in the
+    repository inherits the same thread-safety policy.
     """
     if threading.current_thread() is threading.main_thread():
         return ProcessPoolExecutor(max_workers=jobs)
     return ProcessPoolExecutor(
         max_workers=jobs, mp_context=multiprocessing.get_context("spawn")
     )
+
+
+#: Backwards-compatible private alias (pre-frontier-engine name).
+_make_pool = make_pool
 
 
 class _Collector:

@@ -131,6 +131,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", default=None, metavar="PATH",
         help="also write the full verdict documents (witnesses included) as JSON",
     )
+    verify.add_argument(
+        "--shards", type=_positive_int, default=1, metavar="N",
+        help=(
+            "partition each cell's frontier across N shard workers "
+            "(byte-identical verdicts; mutually exclusive with --jobs > 1)"
+        ),
+    )
     _add_campaign_arguments(verify)
     _add_cache_arguments(verify)
 
@@ -147,6 +154,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--jobs", type=_positive_int, default=1, metavar="N",
         help="worker processes each campaign-backed run may use (default: 1)",
+    )
+    serve.add_argument(
+        "--shards", type=_positive_int, default=1, metavar="N",
+        help=(
+            "frontier shards per model-checking cell "
+            "(default: 1; mutually exclusive with --jobs > 1)"
+        ),
     )
     serve.add_argument("--verbose", action="store_true", help="log every request to stderr")
     # No --refresh here: the service decides per-request whether to
@@ -374,9 +388,12 @@ def _run_verify(parser, args, out, cache=None) -> int:
         )
     except ValueError as exc:
         parser.error(str(exc))
+    if args.jobs > 1 and args.shards > 1:
+        parser.error("--jobs and --shards cannot both exceed 1")
     result = execute(
         spec,
         jobs=args.jobs,
+        shards=args.shards,
         store=args.store,
         progress=_progress_printer if args.progress else None,
         cache=cache,
@@ -430,12 +447,15 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     if args.command == "serve":
         from .service import serve
 
+        if args.jobs > 1 and args.shards > 1:
+            parser.error("--jobs and --shards cannot both exceed 1")
         return serve(
             args.host,
             args.port,
             cache=cache,
             workers=args.workers,
             jobs=args.jobs,
+            shards=args.shards,
             verbose=args.verbose,
         )
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover

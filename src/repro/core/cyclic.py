@@ -39,6 +39,8 @@ __all__ = [
     "is_reflectively_symmetric",
     "iter_fixed_sum_necklaces",
     "iter_fixed_sum_bracelets",
+    "PackedSequenceCodec",
+    "packed_codec",
 ]
 
 T = TypeVar("T")
@@ -228,6 +230,147 @@ def _reflection_matches_cached(items: Tuple[T, ...]) -> Tuple[int, ...]:
 def is_reflectively_symmetric(seq: Sequence[T]) -> bool:
     """Whether some reflection maps the cyclic sequence to itself."""
     return bool(reflection_matches(seq))
+
+
+class PackedSequenceCodec:
+    """Fixed-width packing of bounded integer sequences into single ints.
+
+    A length-``n`` sequence of integers in ``0 .. max_value`` is packed
+    big-endian (element ``0`` in the most significant digit) into one
+    Python int, so *numeric* comparison of packed values coincides with
+    *lexicographic* comparison of the sequences.  Rotations then become
+    two shifts and a mask — no tuple slicing, no allocation — and the
+    dihedral canonical form is a min-scan over ``2 n`` packed images.
+
+    This is the integer backbone of the packed-state frontier engine
+    (:mod:`repro.modelcheck.frontier`): occupancy vectors live as packed
+    ints in visited sets and parent maps, and
+    :meth:`canonical_with_transform` reports *which* group element
+    achieved the minimum so callers can map per-node data between the
+    concrete and canonical frames through the permutation tables of
+    :func:`repro.core.symmetry.dihedral_permutation_tables`.
+
+    The canonical form agrees exactly with :func:`canonical_dihedral`:
+    ``unpack(canonical(pack(seq))) == canonical_dihedral(seq)``.
+    """
+
+    __slots__ = (
+        "n",
+        "max_value",
+        "digit_bits",
+        "total_bits",
+        "digit_mask",
+        "full_mask",
+        "_rotation_shifts",
+        "_low_masks",
+    )
+
+    def __init__(self, n: int, max_value: int) -> None:
+        if n < 1:
+            raise ValueError(f"packed sequences need length >= 1, got {n}")
+        if max_value < 0:
+            raise ValueError(f"max_value cannot be negative, got {max_value}")
+        self.n = n
+        self.max_value = max_value
+        self.digit_bits = max(1, max_value.bit_length())
+        self.total_bits = n * self.digit_bits
+        self.digit_mask = (1 << self.digit_bits) - 1
+        self.full_mask = (1 << self.total_bits) - 1
+        # rotate(seq, r) keeps the low (n - r) digits and wraps the top r
+        # digits around; both operand masks are precomputed per offset.
+        self._rotation_shifts = tuple(r * self.digit_bits for r in range(n))
+        self._low_masks = tuple(
+            (1 << ((n - r) * self.digit_bits)) - 1 for r in range(n)
+        )
+
+    # ------------------------------------------------------------------ #
+    # packing
+    # ------------------------------------------------------------------ #
+    def pack(self, seq: Sequence[int]) -> int:
+        """Pack ``seq`` (length ``n``, values ``0 .. max_value``) into an int."""
+        packed = 0
+        bits = self.digit_bits
+        for value in seq:
+            packed = (packed << bits) | value
+        return packed
+
+    def unpack(self, packed: int) -> Tuple[int, ...]:
+        """The sequence encoded by ``packed`` (inverse of :meth:`pack`)."""
+        bits = self.digit_bits
+        mask = self.digit_mask
+        out = [0] * self.n
+        for i in range(self.n - 1, -1, -1):
+            out[i] = packed & mask
+            packed >>= bits
+        return tuple(out)
+
+    # ------------------------------------------------------------------ #
+    # dihedral action on packed values
+    # ------------------------------------------------------------------ #
+    def rotate(self, packed: int, r: int) -> int:
+        """Packed image of ``rotate(seq, r)`` — two shifts and a mask."""
+        r %= self.n
+        if r == 0:
+            return packed
+        shift = self._rotation_shifts[r]
+        return ((packed & self._low_masks[r]) << shift) | (
+            packed >> (self.total_bits - shift)
+        )
+
+    def reversed_digits(self, packed: int) -> int:
+        """Packed image of ``tuple(reversed(seq))`` (one O(n) digit scan)."""
+        bits = self.digit_bits
+        mask = self.digit_mask
+        out = 0
+        for _ in range(self.n):
+            out = (out << bits) | (packed & mask)
+            packed >>= bits
+        return out
+
+    def canonical(self, packed: int) -> int:
+        """The minimal packed image under rotations and reflections."""
+        best = packed
+        for r in range(1, self.n):
+            image = self.rotate(packed, r)
+            if image < best:
+                best = image
+        reflected = self.reversed_digits(packed)
+        for r in range(self.n):
+            image = self.rotate(reflected, r)
+            if image < best:
+                best = image
+        return best
+
+    def canonical_with_transform(self, packed: int) -> Tuple[int, int, int]:
+        """Canonical form plus the group element achieving it.
+
+        Returns ``(canonical, flip, r)`` with ``canonical ==
+        rotate(reversed_digits(packed) if flip else packed, r)``.  In
+        sequence terms ``canon[j] == seq[sigma(j)]`` where ``sigma(j) =
+        (j + r) % n`` for ``flip == 0`` and ``sigma(j) = (n - 1 - r - j)
+        % n`` for ``flip == 1`` — i.e. ``sigma`` is the rotation table
+        ``r`` or the reflection table ``(n - 1 - r) % n`` of
+        :func:`repro.core.symmetry.dihedral_permutation_tables`.  Ties
+        resolve to the first match in scan order (forward rotations by
+        increasing offset, then reflected ones).
+        """
+        best, best_flip, best_r = packed, 0, 0
+        for r in range(1, self.n):
+            image = self.rotate(packed, r)
+            if image < best:
+                best, best_flip, best_r = image, 0, r
+        reflected = self.reversed_digits(packed)
+        for r in range(self.n):
+            image = self.rotate(reflected, r)
+            if image < best:
+                best, best_flip, best_r = image, 1, r
+        return best, best_flip, best_r
+
+
+@lru_cache(maxsize=None)
+def packed_codec(n: int, max_value: int) -> PackedSequenceCodec:
+    """Process-wide shared :class:`PackedSequenceCodec` per ``(n, max_value)``."""
+    return PackedSequenceCodec(n, max_value)
 
 
 def iter_fixed_sum_necklaces(length: int, total: int) -> Iterator[Tuple[int, ...]]:

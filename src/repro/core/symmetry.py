@@ -16,8 +16,10 @@ edge midpoints otherwise).  A rotation is ``x -> (x + r) mod n``.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable, List, Tuple
+from functools import lru_cache
+from typing import FrozenSet, Iterable, List, Sequence, Tuple
 
 __all__ = [
     "reflect_node",
@@ -29,12 +31,45 @@ __all__ = [
     "is_rigid_support",
     "Axis",
     "symmetry_axes",
+    "dihedral_permutation_tables",
+    "apply_permutation",
 ]
 
 
 def rotate_node(node: int, r: int, n: int) -> int:
     """Image of ``node`` under the rotation by ``r`` positions."""
     return (node + r) % n
+
+
+@lru_cache(maxsize=None)
+def dihedral_permutation_tables(
+    n: int,
+) -> Tuple[Tuple[array, ...], Tuple[array, ...]]:
+    """Index-permutation tables of the dihedral group of ``Z_n``.
+
+    Returns ``(rotations, reflections)`` where ``rotations[r][i] ==
+    (i + r) % n`` and ``reflections[c][i] == (c - i) % n``.  Each table is
+    an ``array('B')`` (``array('I')`` for rings beyond 256 nodes), built
+    once per ring size and shared process-wide, so table-driven
+    canonicalisation and frame mapping never re-derive index arithmetic.
+
+    Applying a table maps a sequence into the transformed frame:
+    ``apply_permutation(seq, rotations[r]) == rotate(seq, r)`` and
+    ``apply_permutation(seq, reflections[c])[i] == seq[(c - i) % n]``.
+    """
+    typecode = "B" if n <= 256 else "I"
+    rotations = tuple(
+        array(typecode, [(i + r) % n for i in range(n)]) for r in range(n)
+    )
+    reflections = tuple(
+        array(typecode, [(c - i) % n for i in range(n)]) for c in range(n)
+    )
+    return rotations, reflections
+
+
+def apply_permutation(seq: Sequence, table: Sequence[int]) -> Tuple:
+    """The sequence read through an index table: ``out[i] = seq[table[i]]``."""
+    return tuple(seq[i] for i in table)
 
 
 def reflect_node(node: int, c: int, n: int) -> int:

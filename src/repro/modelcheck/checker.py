@@ -35,19 +35,26 @@ weaker — prefer the default SSYNC adversary for verdicts.  Conversely
 ``CANDIDATE_FOUND`` (see :mod:`repro.analysis.game`), it is exact for
 the adversary class explored and evidence (not proof) for the full
 asynchronous CORDA adversary.
+
+**Engines.**  Exploration runs on the packed-state frontier engine
+(:mod:`repro.modelcheck.frontier`): states are single integers, dihedral
+canonicalisation is a table-driven min-scan, the searching dynamics are
+interval bitmasks, and the frontier can optionally be sharded across a
+process pool (``shards > 1``) with byte-identical output.  The original
+tuple-state explorer is retained behind ``engine="legacy"`` purely as a
+differential-testing oracle; both engines produce byte-identical verdict
+documents and witness traces (asserted over the whole E8 quick suite by
+the equivalence test suite).
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from enum import Enum
 from time import perf_counter
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..analysis.enumeration import iter_configurations
 from ..analysis.graphs import tarjan_scc
-from ..core.configuration import Configuration
 from ..core.cyclic import canonical_dihedral
 from ..core.errors import (
     AlgorithmPreconditionError,
@@ -55,9 +62,17 @@ from ..core.errors import (
     UnsupportedParametersError,
 )
 from ..core.ring import Edge, Ring
-from ..simulator.branching import BranchingDriver, BranchTransition, Profile
+from ..simulator.branching import BranchingDriver, BranchTransition
 from ..tasks.searching import advance_clear_edges
-from .tasks import TaskSpec, make_task_spec
+from .frontier import FrontierExplorer
+from .results import (
+    DEFAULT_MAX_STATES,
+    ModelCheckResult,
+    Verdict,
+    Witness,
+    WitnessStep,
+)
+from .tasks import TASKS, TaskSpec, make_task_spec
 
 __all__ = [
     "DEFAULT_MAX_STATES",
@@ -69,113 +84,15 @@ __all__ = [
     "check_cell",
 ]
 
-#: Default per-cell exploration cap; exceeding it yields ``UNKNOWN``.
-DEFAULT_MAX_STATES = 150_000
-
 Counts = Tuple[int, ...]
-#: A system state: occupancy vector, task phase (clear-edge set for the
-#: searching task, ``None`` otherwise) and the pending-move set.  The
-#: pending set is always empty under the atomic (SSYNC / sequential)
-#: adversaries implemented here; the slot is part of the state shape so
-#: an asynchronous extension changes no signatures.
+#: A legacy-engine system state: occupancy vector, task phase (clear-edge
+#: set for the searching task, ``None`` otherwise) and the pending-move
+#: set.  The pending set is always empty under the atomic (SSYNC /
+#: sequential) adversaries implemented here; the slot is part of the
+#: state shape so an asynchronous extension changes no signatures.  The
+#: packed engine encodes the same triple into one int (see
+#: :mod:`repro.modelcheck.frontier`).
 State = Tuple[Counts, Optional[FrozenSet[Edge]], Tuple[int, ...]]
-
-
-class Verdict(Enum):
-    """Outcome of one model-checking run."""
-
-    SOLVED = "solved"
-    COLLISION = "collision"
-    LIVELOCK = "livelock"
-    UNKNOWN = "unknown"
-    ERROR = "error"
-
-
-@dataclass(frozen=True)
-class WitnessStep:
-    """One step of a counterexample: the profile played and its effect."""
-
-    profile: Profile
-    counts_after: Counts
-
-    def as_jsonable(self) -> Dict[str, object]:
-        return {
-            "profile": [a.as_jsonable() for a in self.profile],
-            "after": list(self.counts_after),
-        }
-
-
-@dataclass(frozen=True)
-class Witness:
-    """A concrete counterexample trace.
-
-    Attributes:
-        initial_counts: occupancy vector of the starting configuration.
-        steps: the adversary steps played, in order.
-        cycle_start: for livelocks, the index into ``steps`` at which
-            the repeatable loop begins (``None`` for collisions); the
-            suffix ``steps[cycle_start:]`` can be looped forever.
-        note: what the trace demonstrates.
-    """
-
-    initial_counts: Counts
-    steps: Tuple[WitnessStep, ...]
-    cycle_start: Optional[int]
-    note: str
-
-    def as_jsonable(self) -> Dict[str, object]:
-        return {
-            "initial": list(self.initial_counts),
-            "steps": [step.as_jsonable() for step in self.steps],
-            "cycle_start": self.cycle_start,
-            "note": self.note,
-        }
-
-
-@dataclass
-class ModelCheckResult:
-    """Verdict plus exploration statistics for one cell."""
-
-    task: str
-    k: int
-    n: int
-    algorithm: str
-    adversary: str
-    verdict: Verdict
-    num_states: int = 0
-    num_transitions: int = 0
-    num_initial: int = 0
-    paper_algorithm: bool = True
-    elapsed_s: float = 0.0
-    witness: Optional[Witness] = None
-    notes: List[str] = field(default_factory=list)
-
-    @property
-    def states_per_second(self) -> float:
-        """Exploration throughput (0 when the run was instantaneous)."""
-        return self.num_states / self.elapsed_s if self.elapsed_s > 0 else 0.0
-
-    def to_jsonable(self, *, include_timing: bool = True) -> Dict[str, object]:
-        """Plain-data rendering; timing is optional so campaign payloads
-        stay byte-deterministic across serial and parallel runs."""
-        document: Dict[str, object] = {
-            "task": self.task,
-            "k": self.k,
-            "n": self.n,
-            "algorithm": self.algorithm,
-            "adversary": self.adversary,
-            "verdict": self.verdict.value,
-            "num_states": self.num_states,
-            "num_transitions": self.num_transitions,
-            "num_initial": self.num_initial,
-            "paper_algorithm": self.paper_algorithm,
-            "notes": list(self.notes),
-            "witness": self.witness.as_jsonable() if self.witness else None,
-        }
-        if include_timing:
-            document["elapsed_s"] = round(self.elapsed_s, 6)
-            document["states_per_second"] = round(self.states_per_second, 1)
-        return document
 
 
 class ModelChecker:
@@ -188,6 +105,13 @@ class ModelChecker:
         adversary: ``"ssync"`` (default) or ``"sequential"``.
         max_states: exploration cap; exceeding it yields ``UNKNOWN``.
         spec: pre-built task adapter (overrides ``task`` lookup).
+        engine: ``"packed"`` (default) or ``"legacy"`` — the latter is
+            the original tuple-state explorer, kept as a differential
+            oracle; both produce byte-identical results.
+        shards: packed-engine frontier partitions expanded in parallel
+            (``1`` = serial).  Ignored by the legacy engine and by
+            custom ``spec`` adapters, whose shard workers could not be
+            reconstructed by name in another process.
     """
 
     def __init__(
@@ -199,21 +123,68 @@ class ModelChecker:
         adversary: str = "ssync",
         max_states: int = DEFAULT_MAX_STATES,
         spec: Optional[TaskSpec] = None,
+        engine: str = "packed",
+        shards: int = 1,
     ) -> None:
         if adversary not in ("ssync", "sequential"):
             raise ValueError(f"unknown adversary {adversary!r}; expected 'ssync' or 'sequential'")
+        if engine not in ("packed", "legacy"):
+            raise ValueError(f"unknown engine {engine!r}; expected 'packed' or 'legacy'")
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        custom_spec = spec is not None
         self.spec = spec if spec is not None else make_task_spec(task, n, k)
         self.n = n
         self.k = k
         self.adversary = adversary
         self.max_states = max_states
+        self.engine = engine
+        # Sharded workers rebuild the task adapter by name; a custom or
+        # unregistered adapter therefore explores serially.
+        self.shards = (
+            shards if not custom_spec and self.spec.task in TASKS else 1
+        )
         self.ring = Ring(n)
         self.driver = BranchingDriver(
             self.spec.algorithm, n, multiplicity_detection=self.spec.multiplicity_detection
         )
 
     # ------------------------------------------------------------------ #
-    # state construction
+    # main entry point
+    # ------------------------------------------------------------------ #
+    def run(self) -> ModelCheckResult:
+        """Explore the reachable graph and return the verdict."""
+        result = ModelCheckResult(
+            task=self.spec.task,
+            k=self.k,
+            n=self.n,
+            algorithm=self.spec.algorithm_name,
+            adversary=self.adversary,
+            verdict=Verdict.UNKNOWN,
+            paper_algorithm=self.spec.paper_algorithm,
+        )
+        if self.spec.note:
+            result.notes.append(self.spec.note)
+        started = perf_counter()
+        try:
+            if self.engine == "packed":
+                FrontierExplorer(
+                    self.spec,
+                    self.n,
+                    self.k,
+                    self.adversary,
+                    self.max_states,
+                    self.driver,
+                    shards=self.shards,
+                ).run(result)
+            else:
+                self._run_legacy(result)
+        finally:
+            result.elapsed_s = perf_counter() - started
+        return result
+
+    # ------------------------------------------------------------------ #
+    # legacy tuple-state engine (differential-testing oracle)
     # ------------------------------------------------------------------ #
     def _state_counts(self, counts: Counts) -> Counts:
         return canonical_dihedral(counts) if self.spec.canonical else counts
@@ -257,30 +228,7 @@ class ModelChecker:
     def _is_goal(self, counts: Counts) -> bool:
         return self.spec.goal is not None and self.spec.goal(self.driver.configuration(counts))
 
-    # ------------------------------------------------------------------ #
-    # main loop
-    # ------------------------------------------------------------------ #
-    def run(self) -> ModelCheckResult:
-        """Explore the reachable graph and return the verdict."""
-        result = ModelCheckResult(
-            task=self.spec.task,
-            k=self.k,
-            n=self.n,
-            algorithm=self.spec.algorithm_name,
-            adversary=self.adversary,
-            verdict=Verdict.UNKNOWN,
-            paper_algorithm=self.spec.paper_algorithm,
-        )
-        if self.spec.note:
-            result.notes.append(self.spec.note)
-        started = perf_counter()
-        try:
-            self._run_inner(result)
-        finally:
-            result.elapsed_s = perf_counter() - started
-        return result
-
-    def _run_inner(self, result: ModelCheckResult) -> None:
+    def _run_legacy(self, result: ModelCheckResult) -> None:
         initials, start_note = self._initial_states()
         result.notes.append(start_note)
         result.num_initial = len(initials)
@@ -372,7 +320,7 @@ class ModelChecker:
         return all(not t.moved for t in self.driver.successors(counts, self.adversary))
 
     # ------------------------------------------------------------------ #
-    # livelock detection
+    # livelock detection (legacy engine)
     # ------------------------------------------------------------------ #
     def _find_livelock(
         self,
@@ -434,8 +382,15 @@ class ModelChecker:
     ) -> Optional[Tuple[State, List[Tuple[State, BranchTransition]], str]]:
         if not region:
             return None
+        # Iterate in BFS discovery order (= out_edges insertion order), not
+        # set order: the SCC enumeration — and with it the witness chosen
+        # among equally valid fair loops — must not depend on how states
+        # happen to hash, so both engines and any shard count pick the
+        # same loop.
         restricted = {
-            s: [t for (t, _) in out_edges.get(s, []) if t in region] for s in region
+            s: [t for (t, _) in out_edges[s] if t in region]
+            for s in out_edges
+            if s in region
         }
         for component in tarjan_scc(restricted):
             members = set(component)
@@ -514,7 +469,7 @@ class ModelChecker:
         return anchor, cycle
 
     # ------------------------------------------------------------------ #
-    # witnesses
+    # witnesses (legacy engine)
     # ------------------------------------------------------------------ #
     @staticmethod
     def _path_to(
@@ -574,6 +529,16 @@ def check_cell(
     *,
     adversary: str = "ssync",
     max_states: int = DEFAULT_MAX_STATES,
+    engine: str = "packed",
+    shards: int = 1,
 ) -> ModelCheckResult:
     """Convenience wrapper: build a checker and run one cell."""
-    return ModelChecker(task, n, k, adversary=adversary, max_states=max_states).run()
+    return ModelChecker(
+        task,
+        n,
+        k,
+        adversary=adversary,
+        max_states=max_states,
+        engine=engine,
+        shards=shards,
+    ).run()

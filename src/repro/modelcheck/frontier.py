@@ -1,0 +1,656 @@
+"""Packed-state frontier engine: the model checker's exploration core.
+
+The legacy explorer (retained in :mod:`repro.modelcheck.checker` for
+differential testing) keys its visited set by tuples of tuples and
+re-derives dihedral canonical forms and clear-edge sets per visit, which
+makes exhaustive exploration allocation-bound.  This module replaces the
+hot path wholesale:
+
+* a system state ``(counts, phase, pending)`` is **one Python int** —
+  the occupancy vector packed big-endian in ``k.bit_length()``-bit
+  digits (:class:`repro.core.cyclic.PackedSequenceCodec`), the searching
+  task's clear-edge set as an ``n``-bit field above it, and the pending
+  set as a reserved zero field (always empty under the atomic SSYNC /
+  sequential adversaries; an asynchronous extension widens the field
+  without changing any signature);
+* dihedral canonicalisation (terminal tasks) is a table-driven min-scan
+  over packed ints — rotations are two shifts and a mask, reflections
+  one digit-reversal through the per-``n`` permutation tables of
+  :func:`repro.core.symmetry.dihedral_permutation_tables`;
+* successor generation is the compact transition relation of
+  :meth:`repro.simulator.branching.BranchingDriver.successors_compact`
+  (plain tuples, memoised per occupancy vector) and the searching task's
+  clear/recontaminate dynamics are the interval-mask
+  :class:`repro.tasks.searching.RingSearchDynamics`;
+* BFS, SCC-based fair-livelock detection and witness reconstruction all
+  run over int-keyed dicts.
+
+**Sharded parallel exploration.**  With ``shards > 1`` the engine
+partitions each BFS frontier by the residue of the packed occupancy key
+— the canonical state key for terminal tasks; for the phase-carrying
+tasks the phase field is deliberately stripped, since expansion depends
+only on the occupancy vector and states sharing it must land on the
+same shard — and expands the partitions concurrently on a process pool
+built by :func:`repro.campaign.executor.make_pool` (the campaign
+subsystem's pool factory).  Only the *expansion* (algorithm decisions,
+successor enumeration) is parallel; discovered successors are merged by
+a serial reduce that replays the exact serial bookkeeping — BFS order,
+parent assignment, transition counting, early exits — so verdicts,
+statistics and witness traces are byte-identical to the serial path and
+independent of the shard count.
+"""
+
+from __future__ import annotations
+
+import atexit
+import threading
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..analysis.enumeration import iter_configurations
+from ..analysis.graphs import tarjan_scc
+from ..core.cyclic import packed_codec
+from ..core.errors import (
+    AlgorithmPreconditionError,
+    InvalidConfigurationError,
+    UnsupportedParametersError,
+)
+from ..simulator.branching import (
+    COMPACT_COLLISION,
+    COMPACT_FULL,
+    COMPACT_MOVED,
+    BranchingDriver,
+    CompactTransition,
+    NodeActivation,
+)
+from ..tasks.searching import RingSearchDynamics
+from .results import Verdict, Witness, WitnessStep, ModelCheckResult
+from .tasks import TaskSpec, make_task_spec
+
+__all__ = ["FrontierExplorer", "shard_pool"]
+
+Counts = Tuple[int, ...]
+
+#: Exceptions an algorithm may raise on a reachable state; raised while
+#: *expanding* a state they become ``ERROR`` verdicts (with a path
+#: witness) instead of crashes.  One deliberate mirror of the legacy
+#: engine: the goal-*stability* probe of a reach task lets them
+#: propagate (unreachable for the registered tasks, whose goal
+#: configurations the algorithms always accept).
+_ALGORITHM_ERRORS = (
+    AlgorithmPreconditionError,
+    UnsupportedParametersError,
+    InvalidConfigurationError,
+)
+
+#: Name -> class map used to re-raise worker-side algorithm errors in
+#: the driving process with their original type and message.
+_ERRORS_BY_NAME = {cls.__name__: cls for cls in _ALGORITHM_ERRORS}
+
+
+# --------------------------------------------------------------------- #
+# shard worker pool
+# --------------------------------------------------------------------- #
+_SHARD_POOLS: Dict[int, object] = {}
+_SHARD_POOLS_LOCK = threading.Lock()
+
+#: Per-worker-process driver cache (task, n, k) -> BranchingDriver.
+_WORKER_DRIVERS: Dict[Tuple[str, int, int], BranchingDriver] = {}
+
+
+def _shutdown_shard_pools() -> None:  # pragma: no cover - exit hook
+    for pool in _SHARD_POOLS.values():
+        pool.shutdown(wait=False, cancel_futures=True)
+    _SHARD_POOLS.clear()
+
+
+def shard_pool(shards: int):
+    """The lazily created, process-wide pool for ``shards`` workers.
+
+    Reuses the campaign executor's :func:`~repro.campaign.executor.make_pool`
+    (fork from the main thread, spawn elsewhere) and is shared across
+    every cell of a verification grid, so the per-cell cost of sharded
+    exploration is one pickle round-trip per frontier, not a pool
+    start-up.
+    """
+    with _SHARD_POOLS_LOCK:
+        # Locked check-then-create: concurrent service threads must not
+        # both build (and half-leak) a pool for the same shard count.
+        pool = _SHARD_POOLS.get(shards)
+        if pool is None:
+            from ..campaign.executor import make_pool
+
+            if not _SHARD_POOLS:
+                atexit.register(_shutdown_shard_pools)
+            pool = make_pool(shards)
+            _SHARD_POOLS[shards] = pool
+    return pool
+
+
+def _expand_batch(
+    task: str, n: int, k: int, adversary: str, batch: Sequence[Counts]
+) -> List[Tuple[Counts, Tuple[str, object, object]]]:
+    """Shard worker: expand a batch of occupancy vectors of one cell.
+
+    Returns ``(counts, ("ok", records, None))`` per vector, or
+    ``(counts, ("error", type_name, message))`` when the algorithm
+    rejects the state — the reduce re-raises or records it exactly where
+    the serial path would.
+    """
+    key = (task, n, k)
+    driver = _WORKER_DRIVERS.get(key)
+    if driver is None:
+        if len(_WORKER_DRIVERS) > 4:
+            # Evict the oldest cell only; drivers of still-active cells
+            # keep their warm decision/expansion caches.
+            _WORKER_DRIVERS.pop(next(iter(_WORKER_DRIVERS)))
+        spec = make_task_spec(task, n, k)
+        driver = BranchingDriver(
+            spec.algorithm, n, multiplicity_detection=spec.multiplicity_detection
+        )
+        _WORKER_DRIVERS[key] = driver
+    out: List[Tuple[Counts, Tuple[str, object, object]]] = []
+    for counts in batch:
+        try:
+            out.append((counts, ("ok", driver.successors_compact(counts, adversary), None)))
+        except _ALGORITHM_ERRORS as exc:
+            out.append((counts, ("error", type(exc).__name__, str(exc))))
+    return out
+
+
+# --------------------------------------------------------------------- #
+# the explorer
+# --------------------------------------------------------------------- #
+class FrontierExplorer:
+    """Explore one cell's reachable graph over packed integer states.
+
+    Implements the exact verdict semantics of the legacy explorer (see
+    the :mod:`repro.modelcheck.checker` module docstring for the
+    fairness discussion); every note, statistic and witness is
+    byte-identical by construction.
+
+    Args:
+        spec: task adapter of the cell.
+        n: ring size.
+        k: number of robots.
+        adversary: ``"ssync"`` or ``"sequential"``.
+        max_states: exploration cap; exceeding it yields ``UNKNOWN``.
+        driver: the branching driver to expand with (shared with the
+            owning :class:`~repro.modelcheck.checker.ModelChecker` so
+            witness replay reuses the same caches).
+        shards: frontier partitions expanded in parallel; ``1`` is the
+            serial path.  Requires ``spec.task`` to be a registered task
+            (shard workers rebuild the adapter by name).
+    """
+
+    def __init__(
+        self,
+        spec: TaskSpec,
+        n: int,
+        k: int,
+        adversary: str,
+        max_states: int,
+        driver: BranchingDriver,
+        shards: int = 1,
+    ) -> None:
+        self.spec = spec
+        self.n = n
+        self.k = k
+        self.adversary = adversary
+        self.max_states = max_states
+        self.driver = driver
+        self.shards = max(1, shards)
+        self.codec = packed_codec(n, k)
+        self.counts_bits = self.codec.total_bits
+        self.counts_mask = self.codec.full_mask
+        self.dynamics = RingSearchDynamics(n) if spec.kind == "search" else None
+        #: packed counts code -> counts tuple of every discovered vector.
+        self._counts_of: Dict[int, Counts] = {}
+        #: counts tuple -> (packed code, support mask).
+        self._pack_memo: Dict[Counts, Tuple[int, int]] = {}
+        #: packed concrete code -> packed canonical code (canonical tasks).
+        self._canon_memo: Dict[int, int] = {}
+        #: packed counts code -> ("ok", records, None) | ("error", name, msg).
+        self._expansions: Dict[int, Tuple[str, object, object]] = {}
+
+    # ------------------------------------------------------------------ #
+    # packing helpers
+    # ------------------------------------------------------------------ #
+    def _pack_counts(self, counts: Counts) -> Tuple[int, int]:
+        """``(packed code, support mask)`` of an occupancy vector."""
+        cached = self._pack_memo.get(counts)
+        if cached is not None:
+            return cached
+        code = self.codec.pack(counts)
+        support = 0
+        for node, c in enumerate(counts):
+            if c:
+                support |= 1 << node
+        entry = (code, support)
+        self._pack_memo[counts] = entry
+        self._counts_of.setdefault(code, counts)
+        return entry
+
+    def _canonical_code(self, code: int) -> int:
+        canon = self._canon_memo.get(code)
+        if canon is None:
+            canon = self.codec.canonical(code)
+            self._canon_memo[code] = canon
+            if canon not in self._counts_of:
+                self._counts_of[canon] = self.codec.unpack(canon)
+        return canon
+
+    def _counts_code(self, state: int) -> int:
+        return state & self.counts_mask if self.spec.kind == "search" else state
+
+    def _support_of(self, code: int) -> int:
+        return self._pack_counts(self._counts_of[code])[1]
+
+    def _make_initial_state(self, counts: Counts) -> int:
+        code, support = self._pack_counts(counts)
+        if self.spec.kind == "search":
+            return (self.dynamics.initial_clear(support) << self.counts_bits) | code
+        if self.spec.canonical:
+            return self._canonical_code(code)
+        return code
+
+    def _successor_state(self, state: int, record: CompactTransition) -> int:
+        code, support = self._pack_counts(record[1])
+        if self.spec.kind == "search":
+            clear = state >> self.counts_bits
+            new_clear = self.dynamics.advance(support, clear | record[2])
+            return (new_clear << self.counts_bits) | code
+        if self.spec.canonical:
+            return self._canonical_code(code)
+        return code
+
+    # ------------------------------------------------------------------ #
+    # expansion (serial or sharded)
+    # ------------------------------------------------------------------ #
+    def _expansion(self, code: int) -> Tuple[str, object, object]:
+        entry = self._expansions.get(code)
+        if entry is None:
+            counts = self._counts_of[code]
+            try:
+                entry = ("ok", self.driver.successors_compact(counts, self.adversary), None)
+            except _ALGORITHM_ERRORS as exc:
+                entry = ("error", type(exc).__name__, str(exc))
+            self._expansions[code] = entry
+        return entry
+
+    def _records(self, code: int) -> Tuple[CompactTransition, ...]:
+        """Successor records of a vector known to expand cleanly."""
+        entry = self._expansion(code)
+        if entry[0] != "ok":  # pragma: no cover - defensive
+            raise _ERRORS_BY_NAME[entry[1]](entry[2])
+        return entry[1]
+
+    def _prefetch(self, states: Sequence[int]) -> None:
+        """Expand the frontier's unexpanded vectors across the shard pool."""
+        pending: List[int] = []
+        seen: Set[int] = set()
+        for state in states:
+            code = self._counts_code(state)
+            if code not in self._expansions and code not in seen:
+                seen.add(code)
+                pending.append(code)
+        if len(pending) < 2:
+            return
+        buckets: List[List[Counts]] = [[] for _ in range(self.shards)]
+        for code in pending:
+            # Partition by the packed occupancy key (canonical for
+            # terminal tasks, phase-stripped for the others): every
+            # state sharing an occupancy vector shares one expansion,
+            # so it must be computed by exactly one shard.
+            buckets[code % self.shards].append(self._counts_of[code])
+        pool = shard_pool(self.shards)
+        futures = [
+            pool.submit(
+                _expand_batch, self.spec.task, self.n, self.k, self.adversary, bucket
+            )
+            for bucket in buckets
+            if bucket
+        ]
+        for future in futures:
+            for counts, entry in future.result():
+                code, _ = self._pack_counts(counts)
+                self._expansions[code] = entry
+
+    # ------------------------------------------------------------------ #
+    # main loop
+    # ------------------------------------------------------------------ #
+    def run(self, result: ModelCheckResult) -> None:
+        """Explore the cell and fill ``result`` (verdict, stats, witness)."""
+        initials, start_note = self._initial_states()
+        result.notes.append(start_note)
+        result.num_initial = len(initials)
+        if not initials:
+            result.verdict = Verdict.ERROR
+            result.notes.append("no initial configurations for this cell")
+            return
+
+        spec = self.spec
+        is_reach = spec.kind == "reach"
+        parents: Dict[int, Optional[Tuple[int, int]]] = {}
+        out_edges: Dict[int, List[Tuple[int, int]]] = {}
+        goal_states: Set[int] = set()
+        queue: deque = deque()
+        for state in initials:
+            if state not in parents:
+                parents[state] = None
+                queue.append(state)
+
+        num_transitions = 0
+        while queue:
+            if (
+                self.shards > 1
+                and self._counts_code(queue[0]) not in self._expansions
+            ):
+                self._prefetch(queue)
+            state = queue.popleft()
+            code = self._counts_code(state)
+            counts = self._counts_of[code]
+            if is_reach and self._is_goal(counts):
+                # Absorbing goal: verify stability instead of expanding.
+                if self._goal_is_stable(code):
+                    goal_states.add(state)
+                    out_edges[state] = []
+                    continue
+                result.notes.append(
+                    f"goal configuration {list(counts)} is not stable; treated as non-goal"
+                )
+            entry = self._expansion(code)
+            if entry[0] != "ok":
+                result.verdict = Verdict.ERROR
+                result.witness = self._path_witness(
+                    parents, state, extra=None,
+                    note=f"algorithm rejected a reachable state: {entry[1]}: {entry[2]}",
+                )
+                result.num_states = len(parents)
+                result.num_transitions = num_transitions
+                return
+            records: Tuple[CompactTransition, ...] = entry[1]
+
+            edges_here: List[Tuple[int, int]] = []
+            for index, record in enumerate(records):
+                num_transitions += 1
+                if spec.exclusive and record[4] & COMPACT_COLLISION:
+                    result.verdict = Verdict.COLLISION
+                    result.witness = self._path_witness(
+                        parents, state, extra=record,
+                        note="exclusivity violated: two robots meet on one node",
+                    )
+                    result.num_states = len(parents)
+                    result.num_transitions = num_transitions
+                    return
+                successor = self._successor_state(state, record)
+                edges_here.append((successor, index))
+                if successor not in parents:
+                    parents[successor] = (state, index)
+                    if len(parents) > self.max_states:
+                        result.verdict = Verdict.UNKNOWN
+                        result.notes.append(
+                            f"state cap exceeded ({self.max_states}); verdict unknown"
+                        )
+                        result.num_states = len(parents)
+                        result.num_transitions = num_transitions
+                        return
+                    queue.append(successor)
+            out_edges[state] = edges_here
+
+        result.num_states = len(parents)
+        result.num_transitions = num_transitions
+
+        livelock = self._find_livelock(out_edges, goal_states)
+        if livelock is not None:
+            anchor, cycle_edges, note = livelock
+            result.verdict = Verdict.LIVELOCK
+            result.witness = self._livelock_witness(parents, anchor, cycle_edges, note)
+            return
+        result.verdict = Verdict.SOLVED
+
+    def _initial_states(self) -> Tuple[List[int], str]:
+        """Packed starting states (with duplicates) plus a provenance note."""
+        rigid = list(iter_configurations(self.n, self.k, rigid_only=True))
+        if rigid:
+            configurations = rigid
+            note = f"{len(rigid)} rigid initial configuration class(es)"
+        else:
+            configurations = list(iter_configurations(self.n, self.k))
+            note = (
+                "no rigid configuration exists for this cell; starting from all "
+                f"{len(configurations)} configuration class(es)"
+            )
+        return [self._make_initial_state(c.counts) for c in configurations], note
+
+    def _is_goal(self, counts: Counts) -> bool:
+        return self.spec.goal is not None and self.spec.goal(
+            self.driver.configuration(counts)
+        )
+
+    def _goal_is_stable(self, code: int) -> bool:
+        """Whether every adversary step keeps a goal configuration in place."""
+        return all(not (record[4] & COMPACT_MOVED) for record in self._records(code))
+
+    # ------------------------------------------------------------------ #
+    # livelock detection
+    # ------------------------------------------------------------------ #
+    def _find_livelock(
+        self,
+        out_edges: Dict[int, List[Tuple[int, int]]],
+        goal_states: Set[int],
+    ) -> Optional[Tuple[int, List[Tuple[int, CompactTransition]], str]]:
+        """Search for a reachable fair loop violating the task.
+
+        Returns ``(anchor_state, cycle_edges, note)`` where the cycle
+        edges start and end at the anchor, or ``None``.
+        """
+        kind = self.spec.kind
+        n = self.n
+        if kind == "reach":
+            region = {s for s in out_edges if s not in goal_states}
+            return self._fair_trap(
+                out_edges, region, note="fair loop never reaches the goal configuration"
+            )
+        if kind == "search":
+            bits = self.counts_bits
+            for i in range(n):
+                ring_edge = (i, (i + 1) % n)
+                region = {s for s in out_edges if not (s >> (bits + i)) & 1}
+                trap = self._fair_trap(
+                    out_edges,
+                    region,
+                    note=f"fair loop on which edge {ring_edge} is never clear",
+                )
+                if trap is not None:
+                    return trap
+            return None
+        # explore: a fair loop in which some node is never occupied.
+        components = tarjan_scc(
+            {s: [t for (t, _) in targets] for s, targets in out_edges.items()}
+        )
+        for component in components:
+            members = set(component)
+            internal = [
+                (s, t, index)
+                for s in component
+                for (t, index) in out_edges.get(s, [])
+                if t in members
+            ]
+            if not internal or not self._is_fair(component, internal):
+                continue
+            covered = 0
+            for s in component:
+                covered |= self._support_of(self._counts_code(s))
+            missing = [v for v in range(n) if not (covered >> v) & 1]
+            if missing:
+                anchor, cycle = self._anchored_cycle(component, internal)
+                return anchor, cycle, (
+                    f"fair loop on which node(s) {missing} are never visited"
+                )
+        return None
+
+    def _fair_trap(
+        self,
+        out_edges: Dict[int, List[Tuple[int, int]]],
+        region: Set[int],
+        note: str,
+    ) -> Optional[Tuple[int, List[Tuple[int, CompactTransition]], str]]:
+        if not region:
+            return None
+        # BFS discovery order, mirroring the legacy engine exactly (see
+        # ModelChecker._fair_trap): the chosen witness loop must be a
+        # function of the graph, not of hash order.
+        restricted = {
+            s: [t for (t, _) in out_edges[s] if t in region]
+            for s in out_edges
+            if s in region
+        }
+        for component in tarjan_scc(restricted):
+            members = set(component)
+            internal = [
+                (s, t, index)
+                for s in component
+                for (t, index) in out_edges.get(s, [])
+                if t in members
+            ]
+            if internal and self._is_fair(component, internal):
+                anchor, cycle = self._anchored_cycle(component, internal)
+                return anchor, cycle, note
+        return None
+
+    def _edge_record(self, state: int, index: int) -> CompactTransition:
+        return self._records(self._counts_code(state))[index]
+
+    def _is_fair(
+        self,
+        component: List[int],
+        internal: List[Tuple[int, int, int]],
+    ) -> bool:
+        if self.adversary == "ssync":
+            return any(
+                self._edge_record(s, index)[4] & COMPACT_FULL
+                for (s, _, index) in internal
+            )
+        # Sequential coverage test: from every loop state, every occupied
+        # node can be activated without leaving the loop (see the checker
+        # module docstring for the fairness caveat).
+        by_state: Dict[int, int] = {}
+        for s, _, index in internal:
+            by_state[s] = by_state.get(s, 0) | self._edge_record(s, index)[3]
+        for s in component:
+            occupied = self._support_of(self._counts_code(s))
+            if occupied & ~by_state.get(s, 0):
+                return False
+        return True
+
+    def _anchored_cycle(
+        self,
+        component: List[int],
+        internal: List[Tuple[int, int, int]],
+    ) -> Tuple[int, List[Tuple[int, CompactTransition]]]:
+        """A concrete cycle through the component, starting at its anchor.
+
+        The cycle opens with a fairness-witness edge (a full step under
+        SSYNC when one exists) and closes back to the anchor along
+        internal edges.
+        """
+        if self.adversary == "ssync":
+            first = next(
+                (
+                    e
+                    for e in internal
+                    if self._edge_record(e[0], e[2])[4] & COMPACT_FULL
+                ),
+                internal[0],
+            )
+        else:
+            first = internal[0]
+        anchor, after_first, first_index = first
+        first_record = self._edge_record(anchor, first_index)
+        adjacency: Dict[int, List[Tuple[int, CompactTransition]]] = {}
+        for s, t, index in internal:
+            adjacency.setdefault(s, []).append((t, self._edge_record(s, index)))
+        # BFS back to the anchor inside the component.
+        back: Dict[int, Optional[Tuple[int, CompactTransition]]] = {after_first: None}
+        queue: deque = deque([after_first])
+        while queue:
+            s = queue.popleft()
+            if s == anchor:
+                break
+            for t, record in adjacency.get(s, []):
+                if t not in back:
+                    back[t] = (s, record)
+                    queue.append(t)
+        path: List[Tuple[int, CompactTransition]] = []
+        cursor = anchor
+        while cursor != after_first:
+            previous = back[cursor]
+            assert previous is not None  # anchor is reachable: the component is an SCC
+            prev_state, record = previous
+            path.append((cursor, record))
+            cursor = prev_state
+        path.reverse()
+        # Rebuild as (target_state, transition) pairs from the anchor.
+        cycle: List[Tuple[int, CompactTransition]] = [(after_first, first_record)]
+        cycle.extend(path)
+        return anchor, cycle
+
+    # ------------------------------------------------------------------ #
+    # witnesses
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _record_step(record: CompactTransition) -> WitnessStep:
+        profile = tuple(
+            NodeActivation(node=v, idle=i, cw=c, ccw=w) for (v, i, c, w) in record[0]
+        )
+        return WitnessStep(profile=profile, counts_after=record[1])
+
+    def _path_to(
+        self, parents: Dict[int, Optional[Tuple[int, int]]], state: int
+    ) -> Tuple[int, List[CompactTransition]]:
+        """Root initial state and the transition records leading to ``state``."""
+        chain: List[CompactTransition] = []
+        cursor = state
+        while True:
+            parent = parents[cursor]
+            if parent is None:
+                return cursor, list(reversed(chain))
+            cursor, index = parent
+            chain.append(self._edge_record(cursor, index))
+
+    def _path_witness(
+        self,
+        parents: Dict[int, Optional[Tuple[int, int]]],
+        state: int,
+        extra: Optional[CompactTransition],
+        note: str,
+    ) -> Witness:
+        root, records = self._path_to(parents, state)
+        if extra is not None:
+            records.append(extra)
+        return Witness(
+            initial_counts=self._counts_of[self._counts_code(root)],
+            steps=tuple(self._record_step(record) for record in records),
+            cycle_start=None,
+            note=note,
+        )
+
+    def _livelock_witness(
+        self,
+        parents: Dict[int, Optional[Tuple[int, int]]],
+        anchor: int,
+        cycle_edges: List[Tuple[int, CompactTransition]],
+        note: str,
+    ) -> Witness:
+        root, prefix = self._path_to(parents, anchor)
+        steps = [self._record_step(record) for record in prefix]
+        cycle_start = len(steps)
+        for _, record in cycle_edges:
+            steps.append(self._record_step(record))
+        return Witness(
+            initial_counts=self._counts_of[self._counts_code(root)],
+            steps=tuple(steps),
+            cycle_start=cycle_start,
+            note=note,
+        )

@@ -54,19 +54,26 @@ def build_verify_campaign(
     )
 
 
-def run_unit(unit: Dict[str, object]) -> Dict[str, object]:
+def run_unit(unit: Dict[str, object], shards: int = 1) -> Dict[str, object]:
     """Campaign worker: model-check one cell.
 
     The payload row is ``(task, k, n, algorithm, adversary, verdict,
     states, transitions, witness?)``; the full verdict document (without
     timing, for byte-determinism) rides along under ``"result"``.
+
+    ``shards`` is execution context, not cell identity: a sharded
+    exploration returns the byte-identical payload, so it is not part of
+    the unit dict (and therefore not part of the campaign or unit-cache
+    identity).
     """
     extra = unit.get("extra") or {}
     task = str(extra["task"])
     adversary = str(extra.get("adversary", "ssync"))
     max_states = int(extra.get("max_states", DEFAULT_MAX_STATES))
     k, n = int(unit["k"]), int(unit["n"])
-    result = ModelChecker(task, n, k, adversary=adversary, max_states=max_states).run()
+    result = ModelChecker(
+        task, n, k, adversary=adversary, max_states=max_states, shards=shards
+    ).run()
     witness_note = result.witness.note if result.witness else ""
     return {
         "row": [
@@ -85,6 +92,25 @@ def run_unit(unit: Dict[str, object]) -> Dict[str, object]:
     }
 
 
+class _ShardedVerifyWorker:
+    """``run_unit`` with a fixed shard count, picklable by reference.
+
+    Each instance advertises ``run_unit``'s qualname (as an *instance*
+    attribute, leaving the class's own pickling identity untouched) so
+    the campaign layer's unit de-duplication cache keys stay identical
+    to the serial worker's — a sharded exploration of the same cell
+    returns the byte-identical payload, so serial and sharded runs must
+    share cache entries.
+    """
+
+    def __init__(self, shards: int) -> None:
+        self.shards = shards
+        self.__qualname__ = run_unit.__qualname__
+
+    def __call__(self, unit: Dict[str, object]) -> Dict[str, object]:
+        return run_unit(unit, shards=self.shards)
+
+
 def run_verify_campaign(
     task: str,
     cells: Sequence[Tuple[int, int]],
@@ -92,13 +118,28 @@ def run_verify_campaign(
     adversary: str = "ssync",
     max_states: int = DEFAULT_MAX_STATES,
     jobs: int = 1,
+    shards: int = 1,
     store: Optional[Union[str, ResultStore]] = None,
     progress: Optional[ProgressCallback] = None,
     cache=None,
 ) -> CampaignReport:
-    """Build and execute a verification grid (the ``repro verify`` core)."""
+    """Build and execute a verification grid (the ``repro verify`` core).
+
+    ``jobs`` parallelises *across* cells through the campaign pool;
+    ``shards`` parallelises *within* each cell by partitioning the
+    frontier across the shard pool (see
+    :mod:`repro.modelcheck.frontier`).  Both leave every payload
+    byte-identical to the serial run.  They are mutually exclusive: one
+    machine-wide worker budget should not be oversubscribed twice.
+    """
+    if jobs > 1 and shards > 1:
+        raise ValueError(
+            "jobs and shards cannot both exceed 1; parallelise across cells "
+            "(--jobs) or within cells (--shards), not both"
+        )
     campaign = build_verify_campaign(task, cells, adversary=adversary, max_states=max_states)
     result_store = ResultStore(store) if isinstance(store, str) else store
+    worker = _ShardedVerifyWorker(shards) if shards > 1 else run_unit
     return run_campaign(
-        campaign, run_unit, jobs=jobs, store=result_store, progress=progress, cache=cache
+        campaign, worker, jobs=jobs, store=result_store, progress=progress, cache=cache
     )

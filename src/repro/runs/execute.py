@@ -78,6 +78,7 @@ def _execute_simulate(
     spec: SimulateSpec,
     *,
     jobs: int,
+    shards: int,
     store: Optional[Union[str, ResultStore]],
     progress: Optional[ProgressCallback],
     cache: Optional[ResultCache],
@@ -130,6 +131,7 @@ def _execute_verify(
     spec: VerifySpec,
     *,
     jobs: int,
+    shards: int,
     store: Optional[Union[str, ResultStore]],
     progress: Optional[ProgressCallback],
     cache: Optional[ResultCache],
@@ -140,6 +142,7 @@ def _execute_verify(
         adversary=spec.adversary,
         max_states=spec.max_states,
         jobs=jobs,
+        shards=shards,
         store=store,
         progress=progress,
         cache=cache,
@@ -193,6 +196,7 @@ def _execute_experiment(
     spec: ExperimentSpec,
     *,
     jobs: int,
+    shards: int,
     store: Optional[Union[str, ResultStore]],
     progress: Optional[ProgressCallback],
     cache: Optional[ResultCache],
@@ -256,6 +260,7 @@ def execute(
     spec: RunSpec,
     *,
     jobs: int = 1,
+    shards: int = 1,
     store: Optional[Union[str, ResultStore]] = None,
     progress: Optional[ProgressCallback] = None,
     cache: Optional[Union[str, ResultCache]] = None,
@@ -265,7 +270,13 @@ def execute(
 
     Args:
         spec: what to run.
-        jobs: worker processes for campaign-backed kinds.
+        jobs: worker processes for campaign-backed kinds (parallelism
+            *across* units).
+        shards: frontier partitions per model-checking cell (parallelism
+            *within* a verify unit; see :mod:`repro.modelcheck.frontier`).
+            Like ``jobs``, this is execution context: the payload is
+            byte-identical at any shard count, so it never enters the
+            spec — run ids and cache keys stay purely content-addressed.
         store: campaign result-store directory (resume + JSONL shards);
             when given, the whole-run cache lookup is skipped so the
             store's side artifacts are actually written (unit-level
@@ -297,7 +308,7 @@ def execute(
         _WriteOnlyCache(result_cache) if refresh and result_cache is not None else result_cache
     )
     payload, transient, history_dependent = executor(
-        spec, jobs=jobs, store=store, progress=progress, cache=unit_cache
+        spec, jobs=jobs, shards=shards, store=store, progress=progress, cache=unit_cache
     )
     # Whole-run entries are written only for runs whose payload is the
     # spec's canonical result: no transient worker failures (those must

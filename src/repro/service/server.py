@@ -57,6 +57,9 @@ class RunService:
             ``None`` keeps results in memory only.
         workers: maximal number of concurrently executing runs.
         jobs: worker *processes* each campaign-backed run may use.
+        shards: frontier shards per model-checking cell (within-cell
+            parallelism; byte-identical results, so not part of any run
+            id).
         max_runs: bound on the in-memory run registry; when exceeded,
             the oldest *settled* (done/error) entries are dropped.  With
             a cache attached, dropped ``done`` runs remain answerable —
@@ -71,14 +74,18 @@ class RunService:
         cache: Optional[Union[str, ResultCache]] = None,
         workers: int = 2,
         jobs: int = 1,
+        shards: int = 1,
         max_runs: int = 1024,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if max_runs < 1:
             raise ValueError("max_runs must be >= 1")
+        if jobs > 1 and shards > 1:
+            raise ValueError("jobs and shards cannot both exceed 1")
         self._cache = as_result_cache(cache)
         self._jobs = jobs
+        self._shards = shards
         self._max_runs = max_runs
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-run"
@@ -232,7 +239,9 @@ class RunService:
         with self._lock:
             self._runs[run_id]["status"] = "running"
         try:
-            result = execute(spec, jobs=self._jobs, cache=self._cache)
+            result = execute(
+                spec, jobs=self._jobs, shards=self._shards, cache=self._cache
+            )
         except Exception as exc:  # noqa: BLE001 - surfaced to the client
             with self._lock:
                 self._runs[run_id].update(
@@ -361,6 +370,7 @@ def create_server(
     cache: Optional[Union[str, ResultCache]] = None,
     workers: int = 2,
     jobs: int = 1,
+    shards: int = 1,
     verbose: bool = False,
 ) -> ThreadingHTTPServer:
     """Build a ready-to-run server (callers own ``serve_forever``).
@@ -369,7 +379,7 @@ def create_server(
     bound address back from ``server.server_address``.
     """
     if service is None:
-        service = RunService(cache=cache, workers=workers, jobs=jobs)
+        service = RunService(cache=cache, workers=workers, jobs=jobs, shards=shards)
     handler = type(
         "BoundRunRequestHandler",
         (RunRequestHandler,),
@@ -387,16 +397,17 @@ def serve(
     cache: Optional[Union[str, ResultCache]] = None,
     workers: int = 2,
     jobs: int = 1,
+    shards: int = 1,
     verbose: bool = False,
 ) -> int:
     """Run the API server until interrupted (the ``repro serve`` core)."""
-    service = RunService(cache=cache, workers=workers, jobs=jobs)
+    service = RunService(cache=cache, workers=workers, jobs=jobs, shards=shards)
     server = create_server(
         host, port, service=service, verbose=verbose
     )
     bound_host, bound_port = server.server_address[:2]
     print(f"repro serve: listening on http://{bound_host}:{bound_port} "
-          f"(workers={workers}, jobs={jobs}, "
+          f"(workers={workers}, jobs={jobs}, shards={shards}, "
           f"cache={service.health()['cache'] or 'disabled'})")
     try:
         server.serve_forever()

@@ -30,20 +30,54 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.configuration import Configuration
+from ..core.cyclic import PackedSequenceCodec, packed_codec
+from ..core.errors import (
+    AlgorithmPreconditionError,
+    InvalidConfigurationError,
+    UnsupportedParametersError,
+)
 from ..core.ring import CCW, CW, Edge, Ring
-from ..model.algorithm import Algorithm, DecisionCache
+from ..core.symmetry import dihedral_permutation_tables
+from ..model.algorithm import Algorithm, DecisionCache, GlobalRuleAlgorithm
 from ..model.snapshot import Snapshot
 from .engine import ConfigurationPool
 
-__all__ = ["IDLE", "NodeActivation", "BranchTransition", "BranchingDriver"]
+__all__ = [
+    "IDLE",
+    "COMPACT_MOVED",
+    "COMPACT_FULL",
+    "COMPACT_COLLISION",
+    "CompactTransition",
+    "NodeActivation",
+    "BranchTransition",
+    "BranchingDriver",
+]
 
 #: Option encoding: stay on the current node.
 IDLE = 0
 
 Counts = Tuple[int, ...]
+
+#: Flag bits of a :data:`CompactTransition` record.
+COMPACT_MOVED = 1
+COMPACT_FULL = 2
+COMPACT_COLLISION = 4
+
+#: Allocation-free transition record used on the frontier-engine hot
+#: path: ``(profile_parts, counts_after, traversed_mask, activated_mask,
+#: flags)``.  ``profile_parts`` holds the non-trivial node activations as
+#: ``(node, idle, cw, ccw)`` tuples sorted by node (exactly the payload
+#: of a :class:`Profile`); the two masks are ``n``-bit edge/node sets
+#: (edge ``i`` is ``(i, (i + 1) % n)``); ``flags`` combines the
+#: ``COMPACT_*`` bits.  :meth:`BranchingDriver.successors` inflates these
+#: records into :class:`BranchTransition` dataclasses, so both APIs see
+#: the identical enumeration, in the identical order.
+CompactTransition = Tuple[
+    Tuple[Tuple[int, int, int, int], ...], Counts, int, int, int
+]
 
 
 @dataclass(frozen=True)
@@ -133,6 +167,25 @@ class BranchingDriver:
         self._pool = ConfigurationPool(pool_size)
         self._decisions = DecisionCache(maxsize=1 << 15)
         self._options_cache: Dict[Counts, Dict[int, Tuple[int, ...]]] = {}
+        self._canon_options: Dict[Counts, Dict[int, Tuple[int, ...]]] = {}
+        self._compact_cache: Dict[Tuple[Counts, str], Tuple[CompactTransition, ...]] = {}
+        self._codecs: Dict[int, PackedSequenceCodec] = {}
+        # Global-plan fast path: a pure GlobalRuleAlgorithm computes one
+        # equivariant plan per configuration; every per-robot decision is
+        # a frame change of that plan, so one plan() call replaces up to
+        # 2k snapshot evaluations.  Algorithms overriding compute() or
+        # plan_for_snapshot() (presentation- or multiplicity-dependent
+        # behaviour) stay on the exact per-snapshot path.  The first few
+        # classes are double-checked against the per-snapshot path; any
+        # mismatch (a planner violating its equivariance contract)
+        # permanently disables the fast path for this driver.
+        algorithm_type = type(algorithm)
+        self._global_plan = (
+            isinstance(algorithm, GlobalRuleAlgorithm)
+            and algorithm_type.compute is GlobalRuleAlgorithm.compute
+            and algorithm_type.plan_for_snapshot is GlobalRuleAlgorithm.plan_for_snapshot
+        )
+        self._global_plan_checks = 8
 
     # ------------------------------------------------------------------ #
     # per-robot options
@@ -141,6 +194,13 @@ class BranchingDriver:
         """Pooled configuration for a validated occupancy vector."""
         return self._pool.configuration(counts)
 
+    def _codec(self, k: int) -> PackedSequenceCodec:
+        codec = self._codecs.get(k)
+        if codec is None:
+            codec = packed_codec(self.n, k)
+            self._codecs[k] = codec
+        return codec
+
     def node_options(self, counts: Counts) -> Dict[int, Tuple[int, ...]]:
         """Adversary-achievable outcomes per occupied node.
 
@@ -148,10 +208,118 @@ class BranchingDriver:
         outcomes (subset of ``(-1, 0, +1)``) an activated robot on that
         node can be driven to by choosing the view presentation order.
         Co-located robots share a snapshot and hence an option set.
+
+        Algorithms are automorphism-equivariant (they are pure functions
+        of the view pair), so the option sets of dihedral-equivalent
+        occupancy vectors are images of each other: rotations relabel the
+        nodes, reflections additionally swap clockwise and
+        counter-clockwise.  Decisions are therefore computed once per
+        *canonical* occupancy class and mapped into the concrete frame
+        through the precomputed permutation tables, which collapses the
+        number of algorithm invocations by up to ``2 n``.
         """
         cached = self._options_cache.get(counts)
         if cached is not None:
             return cached
+        codec = self._codec(sum(counts))
+        _, flip, r = codec.canonical_with_transform(codec.pack(counts))
+        if flip == 0 and r == 0:
+            options = self._canon_options.get(counts)
+            if options is None:
+                options = self._compute_options(counts)
+                self._canon_options[counts] = options
+        else:
+            options = self._mapped_options(counts, flip, r)
+        self._options_cache[counts] = options
+        return options
+
+    def _mapped_options(
+        self, counts: Counts, flip: int, r: int
+    ) -> Dict[int, Tuple[int, ...]]:
+        """Options of ``counts`` derived from its canonical class."""
+        n = self.n
+        rotations, reflections = dihedral_permutation_tables(n)
+        sigma = rotations[r] if flip == 0 else reflections[(n - 1 - r) % n]
+        canon_counts = tuple(counts[sigma[j]] for j in range(n))
+        canon_options = self._canon_options.get(canon_counts)
+        if canon_options is None:
+            try:
+                canon_options = self._compute_options(canon_counts)
+            except (
+                AlgorithmPreconditionError,
+                UnsupportedParametersError,
+                InvalidConfigurationError,
+            ):
+                # Preserve the exact error the legacy per-state path
+                # raises: recompute on the concrete vector and let the
+                # failure surface from the concrete snapshot.
+                return self._compute_options(counts)
+            self._canon_options[canon_counts] = canon_options
+        # sigma maps canonical index j to concrete node sigma(j); its
+        # inverse is the rotation by n - r, or the same reflection again.
+        inverse = rotations[(n - r) % n] if flip == 0 else sigma
+        options: Dict[int, Tuple[int, ...]] = {}
+        if flip == 0:
+            for v in range(n):
+                if counts[v]:
+                    options[v] = canon_options[inverse[v]]
+        else:
+            for v in range(n):
+                if counts[v]:
+                    options[v] = tuple(
+                        sorted(-o for o in canon_options[inverse[v]])
+                    )
+        return options
+
+    def _compute_options(self, counts: Counts) -> Dict[int, Tuple[int, ...]]:
+        """Option computation for one occupancy vector (canonical or not)."""
+        if self._global_plan:
+            derived = self._compute_options_from_plan(counts)
+            if derived is not None:
+                if self._global_plan_checks > 0:
+                    self._global_plan_checks -= 1
+                    checked = self._compute_options_snapshots(counts)
+                    if checked != derived:
+                        self._global_plan = False
+                        return checked
+                return derived
+        return self._compute_options_snapshots(counts)
+
+    def _compute_options_from_plan(
+        self, counts: Counts
+    ) -> "Optional[Dict[int, Tuple[int, ...]]]":
+        """Options derived from one global plan of an equivariant planner.
+
+        For an equivariant planner both view presentations of a robot
+        yield the same *global* outcome, so the option set per occupied
+        node is the plan's direction (or idle) — except on nodes whose
+        two views coincide, where "move" means the adversary picks the
+        direction.  Returns ``None`` (caller falls back to the exact
+        per-snapshot path) when the plan asks for a non-adjacent hop,
+        so the legacy error surfaces identically.
+        """
+        configuration = self.configuration(counts)
+        moves = self.algorithm.plan(configuration)
+        n = self.n
+        options: Dict[int, Tuple[int, ...]] = {}
+        for node in configuration.support:
+            target = moves.get(node)
+            if target is None:
+                options[node] = (IDLE,)
+            elif target != (node + 1) % n and target != (node - 1) % n:
+                return None
+            else:
+                cw_view, ccw_view = configuration.views_of(node)
+                if cw_view == ccw_view:
+                    options[node] = (CCW, CW)
+                elif target == (node + 1) % n:
+                    options[node] = (CW,)
+                else:
+                    options[node] = (CCW,)
+        return options
+
+    def _compute_options_snapshots(self, counts: Counts) -> Dict[int, Tuple[int, ...]]:
+        """Direct option computation (one algorithm call per presentation)."""
         configuration = self.configuration(counts)
         options: Dict[int, Tuple[int, ...]] = {}
         for node in configuration.support:
@@ -170,7 +338,6 @@ class BranchingDriver:
                         first_direction if decision.toward_view == 0 else -first_direction
                     )
             options[node] = tuple(sorted(outcomes))
-        self._options_cache[counts] = options
         return options
 
     # ------------------------------------------------------------------ #
@@ -193,35 +360,80 @@ class BranchingDriver:
         the same occupancy — e.g. a simultaneous swap of two adjacent
         robots — while clearing different edges.)
         """
-        if mode == "ssync":
-            return self._ssync_successors(counts)
-        if mode == "sequential":
-            return self._sequential_successors(counts)
-        raise ValueError(f"unknown adversary mode {mode!r}; expected 'ssync' or 'sequential'")
+        return [
+            self.transition_from_compact(record)
+            for record in self.successors_compact(counts, mode)
+        ]
 
-    def _sequential_successors(self, counts: Counts) -> List[BranchTransition]:
+    def successors_compact(
+        self, counts: Counts, mode: str = "ssync"
+    ) -> Tuple[CompactTransition, ...]:
+        """The successor enumeration as allocation-free records.
+
+        Same transitions, same order and same deduplication as
+        :meth:`successors` (which is a thin wrapper inflating these
+        records), but each transition is a plain tuple — see
+        :data:`CompactTransition` — cheap to store per explored state,
+        to ship across shard-worker process boundaries, and to expand in
+        the frontier engine's reduce loop.  Results are memoised per
+        ``(counts, mode)``.
+        """
+        key = (counts, mode)
+        cached = self._compact_cache.get(key)
+        if cached is None:
+            if mode == "ssync":
+                cached = self._ssync_compact(counts)
+            elif mode == "sequential":
+                cached = self._sequential_compact(counts)
+            else:
+                raise ValueError(
+                    f"unknown adversary mode {mode!r}; expected 'ssync' or 'sequential'"
+                )
+            self._compact_cache[key] = cached
+        return cached
+
+    def transition_from_compact(self, record: CompactTransition) -> BranchTransition:
+        """Inflate a compact record into a :class:`BranchTransition`."""
+        parts, counts_after, traversed_mask, _activated_mask, flags = record
+        n = self.n
+        return BranchTransition(
+            profile=tuple(
+                NodeActivation(node=v, idle=i, cw=c, ccw=w) for (v, i, c, w) in parts
+            ),
+            counts_after=counts_after,
+            moved=bool(flags & COMPACT_MOVED),
+            full=bool(flags & COMPACT_FULL),
+            activated_nodes=frozenset(v for (v, _, _, _) in parts),
+            collision=bool(flags & COMPACT_COLLISION),
+            traversed=tuple(
+                (i, (i + 1) % n) for i in range(n) if (traversed_mask >> i) & 1
+            ),
+        )
+
+    def _sequential_compact(self, counts: Counts) -> Tuple[CompactTransition, ...]:
         options = self.node_options(counts)
-        out: List[BranchTransition] = []
+        out: List[CompactTransition] = []
         seen = set()
         total_robots = sum(counts)
+        full = total_robots == 1
         for node, node_opts in options.items():
             for option in node_opts:
-                activation = NodeActivation(
-                    node=node,
-                    idle=1 if option == IDLE else 0,
-                    cw=1 if option == CW else 0,
-                    ccw=1 if option == CCW else 0,
+                parts = (
+                    (
+                        node,
+                        1 if option == IDLE else 0,
+                        1 if option == CW else 0,
+                        1 if option == CCW else 0,
+                    ),
                 )
-                transition = self._build_transition(
-                    counts, (activation,), full=(total_robots == 1)
-                )
-                key = (transition.counts_after, transition.traversed, node)
+                record = self._build_compact(counts, parts, full)
+                key = (record[1], record[2], node)
                 if key not in seen:
                     seen.add(key)
-                    out.append(transition)
-        return out
+                    out.append(record)
+        return tuple(out)
 
-    def _ssync_successors(self, counts: Counts) -> List[BranchTransition]:
+    def _ssync_compact(self, counts: Counts) -> Tuple[CompactTransition, ...]:
         options = self.node_options(counts)
         # Nodes whose robots can only idle never change the occupancy;
         # they only matter for the "every robot activated" flag, so they
@@ -243,20 +455,18 @@ class BranchingDriver:
                         choices.append((v, idle, cw, ccw))
             per_node_choices.append(choices)
 
-        out: List[BranchTransition] = []
+        out: List[CompactTransition] = []
         seen = set()
 
         def emit(profile_parts: Sequence[Tuple[int, int, int, int]], full: bool) -> None:
-            profile = tuple(
-                NodeActivation(node=v, idle=i, cw=c, ccw=w)
-                for (v, i, c, w) in sorted(profile_parts)
-                if i + c + w > 0
+            parts = tuple(
+                part for part in sorted(profile_parts) if part[1] + part[2] + part[3] > 0
             )
-            transition = self._build_transition(counts, profile, full=full)
-            key = (transition.counts_after, transition.traversed, full)
+            record = self._build_compact(counts, parts, full)
+            key = (record[1], record[2], full)
             if key not in seen:
                 seen.add(key)
-                out.append(transition)
+                out.append(record)
 
         for combo in itertools.product(*per_node_choices):
             activated_dynamic = sum(i + c + w for (_, i, c, w) in combo)
@@ -277,36 +487,38 @@ class BranchingDriver:
                 emit(combo, full=False)
             elif activated_dynamic == 0 and static_robots > 0 and total_robots > 1:
                 emit([(static_nodes[0], 1, 0, 0)], full=False)
-        return out
+        return tuple(out)
 
-    def _build_transition(
-        self, counts: Counts, profile: Profile, *, full: bool
-    ) -> BranchTransition:
+    def _build_compact(
+        self,
+        counts: Counts,
+        parts: Tuple[Tuple[int, int, int, int], ...],
+        full: bool,
+    ) -> CompactTransition:
+        n = self.n
         new_counts = list(counts)
-        traversed: List[Edge] = []
+        traversed_mask = 0
+        activated_mask = 0
         moved = False
-        for activation in profile:
-            v = activation.node
-            movers = activation.cw + activation.ccw
+        for v, _idle, cw, ccw in parts:
+            activated_mask |= 1 << v
+            movers = cw + ccw
             if movers:
                 moved = True
                 new_counts[v] -= movers
-                if activation.cw:
-                    new_counts[(v + 1) % self.n] += activation.cw
-                    traversed.append(self.ring.edge_between(v, (v + 1) % self.n))
-                if activation.ccw:
-                    new_counts[(v - 1) % self.n] += activation.ccw
-                    traversed.append(self.ring.edge_between(v, (v - 1) % self.n))
+                if cw:
+                    new_counts[(v + 1) % n] += cw
+                    traversed_mask |= 1 << v
+                if ccw:
+                    new_counts[(v - 1) % n] += ccw
+                    traversed_mask |= 1 << ((v - 1) % n)
         counts_after = tuple(new_counts)
-        return BranchTransition(
-            profile=profile,
-            counts_after=counts_after,
-            moved=moved,
-            full=full,
-            activated_nodes=frozenset(a.node for a in profile),
-            collision=any(c > 1 for c in counts_after),
-            traversed=tuple(sorted(set(traversed))),
-        )
+        flags = (COMPACT_MOVED if moved else 0) | (COMPACT_FULL if full else 0)
+        for c in counts_after:
+            if c > 1:
+                flags |= COMPACT_COLLISION
+                break
+        return (parts, counts_after, traversed_mask, activated_mask, flags)
 
     # ------------------------------------------------------------------ #
     # replay

@@ -17,7 +17,7 @@ verify perpetual clearing.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, FrozenSet, List, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
 
 from ..core.configuration import Configuration
 from ..core.ring import Edge, Ring
@@ -27,7 +27,13 @@ from .base import Monitor
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..simulator.engine import Simulator
 
-__all__ = ["SearchState", "SearchingMonitor", "advance_clear_edges", "guarded_edges"]
+__all__ = [
+    "SearchState",
+    "SearchingMonitor",
+    "advance_clear_edges",
+    "guarded_edges",
+    "RingSearchDynamics",
+]
 
 
 def guarded_edges(ring: Ring, configuration: Configuration) -> Set[Edge]:
@@ -74,6 +80,109 @@ def advance_clear_edges(
                 stack.append(neighbor)
     updated -= {e for e in updated if e[0] in reachable or e[1] in reachable}
     return frozenset(updated)
+
+
+class RingSearchDynamics:
+    """Bitmask implementation of the mixed-search dynamics on one ring.
+
+    Edge ``i`` is the edge between nodes ``i`` and ``(i + 1) % n`` — the
+    same normalised order as :meth:`repro.core.ring.Ring.edges` — and
+    edge/node sets are ``n``-bit masks.  The key observation making the
+    dynamics a handful of integer operations: contamination spreads only
+    through robot-free nodes, and the robot-free nodes split into maximal
+    *intervals* bounded by occupied nodes, so after a step
+
+    * every *guarded* edge (both endpoints occupied) is clear, and
+    * the edges touching one robot-free interval survive **iff** every
+      one of them was cleared or guarded this step — a single
+      contaminated edge recontaminates the whole interval, and nothing
+      outside it, because occupied endpoints block the spread.
+
+    Interval decompositions are memoised per support mask and
+    ``(support, updated)`` advances per pair, so the exhaustive explorers
+    (:mod:`repro.modelcheck.frontier`, :mod:`repro.analysis.game`) pay a
+    dictionary hit per revisited transition instead of the set-algebra of
+    :func:`advance_clear_edges`.  Both implementations are cross-checked
+    by property tests.
+    """
+
+    __slots__ = ("n", "all_edges", "_support_data", "_advance_memo")
+
+    def __init__(self, n: int) -> None:
+        if n < 3:
+            raise ValueError(f"a ring needs at least 3 nodes, got n={n}")
+        self.n = n
+        self.all_edges = (1 << n) - 1
+        self._support_data: Dict[int, Tuple[int, Tuple[int, ...]]] = {}
+        self._advance_memo: Dict[Tuple[int, int], int] = {}
+
+    def support_data(self, support_mask: int) -> Tuple[int, Tuple[int, ...]]:
+        """``(guarded_mask, interval_edge_masks)`` for one occupied set."""
+        cached = self._support_data.get(support_mask)
+        if cached is not None:
+            return cached
+        n = self.n
+        # guarded bit i: nodes i and (i + 1) % n both occupied.
+        neighbor = ((support_mask >> 1) | ((support_mask & 1) << (n - 1)))
+        guarded = support_mask & neighbor
+        intervals = []
+        if support_mask != (1 << n) - 1 and support_mask != 0:
+            empty = [v for v in range(n) if not (support_mask >> v) & 1]
+            runs: List[List[int]] = []
+            for v in empty:
+                if runs and runs[-1][-1] == v - 1:
+                    runs[-1].append(v)
+                else:
+                    runs.append([v])
+            # Cyclic wrap: a run ending at n - 1 joins one starting at 0.
+            if len(runs) > 1 and runs[0][0] == 0 and runs[-1][-1] == n - 1:
+                runs[-1].extend(runs.pop(0))
+            for run in runs:
+                mask = 1 << ((run[0] - 1) % n)  # edge into the interval
+                for v in run:
+                    mask |= 1 << v  # edge leaving node v clockwise
+                intervals.append(mask)
+        data = (guarded, tuple(intervals))
+        self._support_data[support_mask] = data
+        return data
+
+    def advance(self, support_mask: int, pre_mask: int) -> int:
+        """Clear edges after a step: ``pre_mask`` is ``clear | traversed``.
+
+        Guarded edges of the post-step support are added automatically;
+        the result is the mask equivalent of :func:`advance_clear_edges`.
+        """
+        key = (support_mask, pre_mask)
+        cached = self._advance_memo.get(key)
+        if cached is not None:
+            return cached
+        guarded, intervals = self.support_data(support_mask)
+        updated = pre_mask | guarded
+        clear = guarded
+        for interval in intervals:
+            if updated & interval == interval:
+                clear |= interval
+        self._advance_memo[key] = clear
+        return clear
+
+    def initial_clear(self, support_mask: int) -> int:
+        """Clear mask of a starting configuration (guarded edges only)."""
+        return self.advance(support_mask, 0)
+
+    @staticmethod
+    def edges_to_mask(edges: "Iterable[Edge]", n: int) -> int:
+        """Mask of normalised edges (edge ``(u, v)`` has index ``u``)."""
+        mask = 0
+        for u, _ in edges:
+            mask |= 1 << u
+        return mask
+
+    def mask_to_edges(self, mask: int) -> FrozenSet[Edge]:
+        """Normalised edge set of a mask (inverse of :meth:`edges_to_mask`)."""
+        n = self.n
+        return frozenset(
+            (i, (i + 1) % n) for i in range(n) if (mask >> i) & 1
+        )
 
 
 class SearchState:

@@ -139,11 +139,18 @@ SUITES: Dict[str, Dict[str, Suite]] = {
         ),
         "full": Suite(
             name="e8",
-            description="Model-checking verdicts, wider grid incl. n = 9 gathering and n = 11/12 searching",
+            description=(
+                "Model-checking verdicts, wider grid incl. n = 9 gathering, "
+                "n = 11/12 searching and the n = 14 frontier cell"
+            ),
+            # (7, 14) is the first cell beyond the pre-packed-engine
+            # frontier: it joined the suite when the packed frontier
+            # engine made its certification cheap enough for the full
+            # run (benchmarked in BENCH_modelcheck.json).
             pairs=(
                 (1, 4), (1, 5), (2, 5), (3, 5), (2, 6), (3, 6), (2, 7), (3, 7), (4, 7),
                 (3, 8), (4, 8), (5, 8), (2, 9), (3, 9), (4, 9), (5, 9), (6, 9),
-                (7, 10), (5, 11), (6, 11), (8, 11), (6, 12), (7, 12), (9, 12),
+                (7, 10), (5, 11), (6, 11), (8, 11), (6, 12), (7, 12), (9, 12), (7, 14),
             ),
             samples_per_pair=1,
             steps_factor=1,

@@ -1,0 +1,132 @@
+"""Packed-sequence codec, permutation tables and bitmask search dynamics.
+
+These are the integer primitives under the frontier engine; each is
+cross-checked against the tuple/set implementation it replaces.
+"""
+
+import random
+
+import pytest
+
+from repro.core.configuration import Configuration
+from repro.core.cyclic import (
+    PackedSequenceCodec,
+    canonical_dihedral,
+    packed_codec,
+    rotate,
+)
+from repro.core.ring import Ring
+from repro.core.symmetry import apply_permutation, dihedral_permutation_tables
+from repro.tasks.searching import RingSearchDynamics, advance_clear_edges
+
+
+def _random_sequences(trials, seed=0):
+    rng = random.Random(seed)
+    for _ in range(trials):
+        n = rng.randint(1, 12)
+        max_value = rng.randint(1, 9)
+        yield n, max_value, tuple(rng.randint(0, max_value) for _ in range(n))
+
+
+class TestPackedSequenceCodec:
+    def test_pack_unpack_roundtrip(self):
+        for n, max_value, seq in _random_sequences(300):
+            codec = PackedSequenceCodec(n, max_value)
+            assert codec.unpack(codec.pack(seq)) == seq
+
+    def test_numeric_order_is_lexicographic(self):
+        rng = random.Random(1)
+        codec = PackedSequenceCodec(6, 7)
+        for _ in range(300):
+            a = tuple(rng.randint(0, 7) for _ in range(6))
+            b = tuple(rng.randint(0, 7) for _ in range(6))
+            assert (codec.pack(a) < codec.pack(b)) == (a < b)
+
+    def test_rotate_matches_tuple_rotation(self):
+        for n, max_value, seq in _random_sequences(200, seed=2):
+            codec = PackedSequenceCodec(n, max_value)
+            packed = codec.pack(seq)
+            for r in range(n):
+                assert codec.unpack(codec.rotate(packed, r)) == rotate(seq, r)
+
+    def test_reversed_digits(self):
+        for n, max_value, seq in _random_sequences(200, seed=3):
+            codec = PackedSequenceCodec(n, max_value)
+            assert codec.unpack(codec.reversed_digits(codec.pack(seq))) == tuple(
+                reversed(seq)
+            )
+
+    def test_canonical_agrees_with_canonical_dihedral(self):
+        for n, max_value, seq in _random_sequences(400, seed=4):
+            codec = PackedSequenceCodec(n, max_value)
+            packed = codec.pack(seq)
+            assert codec.unpack(codec.canonical(packed)) == canonical_dihedral(seq)
+
+    def test_canonical_transform_is_a_valid_witness(self):
+        for n, max_value, seq in _random_sequences(400, seed=5):
+            codec = PackedSequenceCodec(n, max_value)
+            canon, flip, r = codec.canonical_with_transform(codec.pack(seq))
+            rotations, reflections = dihedral_permutation_tables(n)
+            sigma = rotations[r] if flip == 0 else reflections[(n - 1 - r) % n]
+            assert apply_permutation(seq, sigma) == codec.unpack(canon)
+
+    def test_shared_codec_cache(self):
+        assert packed_codec(8, 3) is packed_codec(8, 3)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            PackedSequenceCodec(0, 1)
+        with pytest.raises(ValueError):
+            PackedSequenceCodec(3, -1)
+
+
+class TestDihedralPermutationTables:
+    def test_rotation_tables_match_rotate(self):
+        for n in (1, 2, 3, 5, 8):
+            rotations, reflections = dihedral_permutation_tables(n)
+            seq = tuple(range(n))
+            for r in range(n):
+                assert apply_permutation(seq, rotations[r]) == rotate(seq, r)
+            for c in range(n):
+                assert apply_permutation(seq, reflections[c]) == tuple(
+                    (c - i) % n for i in range(n)
+                )
+
+    def test_tables_are_cached(self):
+        assert dihedral_permutation_tables(9) is dihedral_permutation_tables(9)
+
+
+class TestRingSearchDynamics:
+    @pytest.mark.parametrize("n", [3, 4, 5, 6, 7])
+    def test_advance_matches_set_implementation_exhaustively(self, n):
+        ring = Ring(n)
+        dynamics = RingSearchDynamics(n)
+        edges = ring.edges()
+        rng = random.Random(n)
+        for support_bits in range(1, 1 << n):
+            occupied = [v for v in range(n) if (support_bits >> v) & 1]
+            configuration = Configuration.from_occupied(n, occupied)
+            assert dynamics.mask_to_edges(
+                dynamics.initial_clear(support_bits)
+            ) == advance_clear_edges(ring, set(), set(), configuration)
+            for _ in range(4):
+                clear = {e for e in edges if rng.random() < 0.5}
+                traversed = {e for e in edges if rng.random() < 0.25}
+                expected = advance_clear_edges(
+                    ring, set(clear), set(traversed), configuration
+                )
+                pre = dynamics.edges_to_mask(clear, n) | dynamics.edges_to_mask(
+                    traversed, n
+                )
+                assert dynamics.mask_to_edges(
+                    dynamics.advance(support_bits, pre)
+                ) == expected
+
+    def test_edge_mask_roundtrip(self):
+        dynamics = RingSearchDynamics(6)
+        edges = {(0, 1), (3, 4), (5, 0)}
+        assert dynamics.mask_to_edges(dynamics.edges_to_mask(edges, 6)) == edges
+
+    def test_rejects_tiny_ring(self):
+        with pytest.raises(ValueError):
+            RingSearchDynamics(2)

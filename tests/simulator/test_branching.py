@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.algorithms import AlignAlgorithm, GatheringAlgorithm
+from repro.algorithms import AlignAlgorithm, GatheringAlgorithm, RingClearingAlgorithm
 from repro.algorithms.baselines import IdleAlgorithm, SweepAlgorithm
 from repro.core.configuration import Configuration
 from repro.simulator.branching import IDLE, BranchingDriver, NodeActivation
@@ -37,6 +37,79 @@ class TestNodeOptions:
         driver = BranchingDriver(IdleAlgorithm(), 6)
         options = driver.node_options((1, 0, 1, 0, 1, 0))
         assert all(opts == (IDLE,) for opts in options.values())
+
+    @pytest.mark.parametrize(
+        "algorithm,multiplicity",
+        [
+            (AlignAlgorithm(), False),
+            (GatheringAlgorithm(), True),
+            (SweepAlgorithm(), False),
+            (RingClearingAlgorithm(), False),
+        ],
+    )
+    def test_options_match_direct_snapshot_computation(self, algorithm, multiplicity):
+        """The canonical-class mapping and the global-plan fast path must
+        reproduce the exact per-snapshot option sets on every occupancy
+        vector — including reflections (direction negation), gathering
+        multiplicities and the presentation-dependent sweep baseline."""
+        import itertools
+
+        n, k = 7, 3
+        fast = BranchingDriver(algorithm, n, multiplicity_detection=multiplicity)
+        oracle = BranchingDriver(algorithm, n, multiplicity_detection=multiplicity)
+        for support in itertools.combinations(range(n), k):
+            counts = tuple(1 if v in support else 0 for v in range(n))
+            try:
+                expected = oracle._compute_options_snapshots(counts)
+            except Exception as exc:  # noqa: BLE001 - mirror error below
+                with pytest.raises(type(exc)):
+                    fast.node_options(counts)
+                continue
+            assert fast.node_options(counts) == expected, counts
+        if multiplicity:
+            # A vector with a tower exercises the on_multiplicity flag.
+            counts = (2, 0, 1, 0, 0, 0, 0)
+            assert fast.node_options(counts) == oracle._compute_options_snapshots(counts)
+
+    def test_plan_fast_path_falls_back_on_non_adjacent_target(self):
+        """A planner prescribing a 2-hop move must surface the legacy
+        AlgorithmPreconditionError — also for symmetric-view nodes, and
+        also once the fast path's self-check budget is exhausted."""
+        from repro.core.errors import AlgorithmPreconditionError
+        from repro.model.algorithm import GlobalRuleAlgorithm
+
+        class TwoHopPlanner(GlobalRuleAlgorithm):
+            name = "two-hop"
+
+            def plan(self, configuration):
+                node = configuration.support[0]
+                return {node: (node + 2) % configuration.n}
+
+        driver = BranchingDriver(TwoHopPlanner(), 6)
+        driver._global_plan_checks = 0  # exercise the unchecked fast path
+        with pytest.raises(AlgorithmPreconditionError):
+            # Antipodal robots: both views coincide, so the symmetric
+            # branch is the one that must still validate adjacency.
+            driver.node_options((1, 0, 0, 1, 0, 0))
+
+    def test_successors_wrapper_matches_compact_records(self):
+        driver = BranchingDriver(AlignAlgorithm(), 9)
+        counts = (1, 1, 0, 1, 0, 0, 1, 0, 0)
+        for mode in ("ssync", "sequential"):
+            records = driver.successors_compact(counts, mode)
+            transitions = driver.successors(counts, mode)
+            assert len(records) == len(transitions)
+            for record, transition in zip(records, transitions):
+                assert record[1] == transition.counts_after
+                assert record[0] == tuple(
+                    (a.node, a.idle, a.cw, a.ccw) for a in transition.profile
+                )
+                assert bool(record[4] & 1) == transition.moved
+                assert bool(record[4] & 2) == transition.full
+                assert bool(record[4] & 4) == transition.collision
+                assert frozenset(
+                    v for (v, _, _, _) in record[0]
+                ) == transition.activated_nodes
 
 
 class TestSuccessors:

@@ -1,0 +1,108 @@
+"""cProfile top-N over one model-checker cell (or one game-solver instance).
+
+The profiling harness behind the packed-state frontier work: point it at
+a cell, read the hottest frames, decide what to attack next.
+
+Examples::
+
+    PYTHONPATH=src python tools/profile_hotspots.py searching --k 6 --n 13
+    PYTHONPATH=src python tools/profile_hotspots.py searching --k 7 --n 14 --engine legacy
+    PYTHONPATH=src python tools/profile_hotspots.py --game --k 3 --n 6 --top 15
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+from time import perf_counter
+
+from repro.analysis.game import searching_game_verdict
+from repro.modelcheck import check_cell
+from repro.modelcheck.results import DEFAULT_MAX_STATES
+from repro.modelcheck.tasks import TASKS
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="profile one model-checker cell (cProfile top-N)"
+    )
+    parser.add_argument(
+        "task",
+        nargs="?",
+        default="searching",
+        choices=sorted(TASKS),
+        help="verification task (default: searching); ignored with --game",
+    )
+    parser.add_argument("--k", type=int, required=True, help="number of robots")
+    parser.add_argument("--n", type=int, required=True, help="ring size")
+    parser.add_argument(
+        "--adversary", choices=["ssync", "sequential"], default="ssync"
+    )
+    parser.add_argument(
+        "--engine", choices=["packed", "legacy"], default="packed",
+        help="exploration engine to profile (default: packed)",
+    )
+    parser.add_argument(
+        "--max-states", type=int, default=DEFAULT_MAX_STATES, metavar="M"
+    )
+    parser.add_argument(
+        "--game", action="store_true",
+        help="profile the E6 adversary game solver on (k, n) instead",
+    )
+    parser.add_argument(
+        "--top", type=int, default=25, metavar="N",
+        help="number of stack frames to print (default: 25)",
+    )
+    parser.add_argument(
+        "--sort", choices=["cumulative", "tottime", "calls"], default="cumulative"
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also dump raw pstats data for snakeviz/pstats browsing",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.game:
+        def workload():
+            return searching_game_verdict(args.n, args.k)
+        label = f"game solver k={args.k} n={args.n}"
+    else:
+        def workload():
+            return check_cell(
+                args.task,
+                args.n,
+                args.k,
+                adversary=args.adversary,
+                max_states=args.max_states,
+                engine=args.engine,
+            )
+        label = (
+            f"{args.task} k={args.k} n={args.n} "
+            f"({args.engine} engine, {args.adversary})"
+        )
+
+    profiler = cProfile.Profile()
+    started = perf_counter()
+    profiler.enable()
+    result = workload()
+    profiler.disable()
+    elapsed = perf_counter() - started
+
+    outcome = getattr(result, "verdict", None)
+    outcome_text = getattr(outcome, "value", outcome)
+    print(f"# {label}: {outcome_text} in {elapsed:.3f}s (profiled)", file=sys.stderr)
+    stats = pstats.Stats(profiler)
+    if args.out:
+        stats.dump_stats(args.out)
+        print(f"# raw profile written to {args.out}", file=sys.stderr)
+    stats.sort_stats(args.sort).print_stats(args.top)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
