@@ -172,4 +172,5 @@ class AlignAlgorithm(GlobalRuleAlgorithm):
     name = "align"
 
     def plan(self, configuration: Configuration) -> Dict[int, int]:
+        """Delegate to :func:`plan_align` on the global configuration."""
         return plan_align(configuration)

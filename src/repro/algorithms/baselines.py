@@ -35,6 +35,7 @@ class IdleAlgorithm(Algorithm):
     name = "idle"
 
     def compute(self, snapshot: Snapshot) -> Decision:
+        """Stay put, unconditionally."""
         return Decision.idle()
 
 
@@ -49,6 +50,7 @@ class SweepAlgorithm(Algorithm):
     name = "sweep"
 
     def compute(self, snapshot: Snapshot) -> Decision:
+        """Advance towards view 0 when that neighbour node is empty."""
         if snapshot.num_occupied == snapshot.n:
             return Decision.idle()
         if snapshot.views[0][0] > 0:
@@ -68,6 +70,7 @@ class GreedyGatherBaseline(Algorithm):
     name = "greedy-gather"
 
     def compute(self, snapshot: Snapshot) -> Decision:
+        """Step towards whichever occupied node looks closer."""
         if snapshot.num_occupied <= 1:
             return Decision.idle()
         first_gap = snapshot.views[0][0]

@@ -72,9 +72,11 @@ class GatheringAlgorithm(GlobalRuleAlgorithm):
     name = "gathering"
 
     def plan(self, configuration: Configuration) -> Dict[int, int]:
+        """Delegate to :func:`plan_gathering_support` on the support."""
         return plan_gathering_support(configuration)
 
     def plan_for_snapshot(self, configuration: Configuration, snapshot: Snapshot) -> PlannedMoves:
+        """Plan on the multiplicity-blind support the snapshot implies."""
         occupied = configuration.num_occupied
         n = configuration.n
         if occupied == 1:

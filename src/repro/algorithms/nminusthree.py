@@ -97,4 +97,5 @@ class NminusThreeAlgorithm(GlobalRuleAlgorithm):
     name = "n-minus-three"
 
     def plan(self, configuration: Configuration) -> Dict[int, int]:
+        """Delegate to :func:`plan_nminusthree` on the global configuration."""
         return plan_nminusthree(configuration)

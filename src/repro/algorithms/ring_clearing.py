@@ -69,4 +69,5 @@ class RingClearingAlgorithm(GlobalRuleAlgorithm):
     name = "ring-clearing"
 
     def plan(self, configuration: Configuration) -> Dict[int, int]:
+        """Delegate to :func:`plan_ring_clearing` on the global configuration."""
         return plan_ring_clearing(configuration)

@@ -30,11 +30,19 @@ from __future__ import annotations
 
 from typing import Optional, Union
 
-from .executor import CampaignReport, ProgressCallback, Worker, run_campaign
+from .executor import (
+    BatchWorker,
+    CampaignReport,
+    ProgressCallback,
+    Worker,
+    execute_batch,
+    run_campaign,
+)
 from .spec import Campaign, UnitSpec, build_campaign, build_cells_campaign, derive_seed
 from .store import ResultStore
 
 __all__ = [
+    "BatchWorker",
     "Campaign",
     "CampaignReport",
     "ResultStore",
@@ -42,6 +50,7 @@ __all__ = [
     "build_campaign",
     "build_cells_campaign",
     "derive_seed",
+    "execute_batch",
     "run_campaign",
     "run_experiment_campaign",
 ]
@@ -56,6 +65,7 @@ def run_experiment_campaign(
     store: Optional[Union[str, ResultStore]] = None,
     progress: Optional[ProgressCallback] = None,
     cache=None,
+    batch_worker: Optional[BatchWorker] = None,
 ) -> CampaignReport:
     """Build the campaign for an experiment suite and execute it.
 
@@ -67,5 +77,11 @@ def run_experiment_campaign(
     campaign = build_campaign(experiment, variant)
     result_store = ResultStore(store) if isinstance(store, str) else store
     return run_campaign(
-        campaign, worker, jobs=jobs, store=result_store, progress=progress, cache=cache
+        campaign,
+        worker,
+        jobs=jobs,
+        store=result_store,
+        progress=progress,
+        cache=cache,
+        batch_worker=batch_worker,
     )

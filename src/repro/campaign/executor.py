@@ -35,10 +35,17 @@ from typing import Callable, Dict, List, Optional, Sequence
 from .spec import Campaign, UnitSpec
 from .store import ResultStore
 
-__all__ = ["CampaignReport", "run_campaign", "execute_unit"]
+__all__ = ["CampaignReport", "run_campaign", "execute_unit", "execute_batch"]
 
 #: Worker signature: unit dict in, JSON-serialisable payload out.
 Worker = Callable[[Dict[str, object]], Dict[str, object]]
+
+#: Batch-worker signature: a list of unit dicts in, one payload per unit
+#: out (same order).  A batch worker is an *optimisation* of a unit
+#: worker: it must produce exactly the payloads the unit worker would,
+#: only faster (e.g. by running all units' simulations through one
+#: :class:`repro.batchsim.BatchEngine`).
+BatchWorker = Callable[[Sequence[Dict[str, object]]], List[Dict[str, object]]]
 
 #: Progress callback: (completed, total, latest record).
 ProgressCallback = Callable[[int, int, Dict[str, object]], None]
@@ -115,11 +122,51 @@ def execute_unit(worker: Worker, unit: Dict[str, object]) -> Dict[str, object]:
     return record
 
 
+def execute_batch(
+    worker: Worker,
+    batch_worker: Optional[BatchWorker],
+    units: Sequence[Dict[str, object]],
+) -> List[Dict[str, object]]:
+    """Run a batch of units, claimed whole by ``batch_worker`` when possible.
+
+    The batch worker receives every unit at once and returns one payload
+    per unit; the batch's wall time is split evenly across the produced
+    records (``duration_s`` is a non-deterministic field and never enters
+    ``summary.json``).  If the batch worker raises — or returns the wrong
+    number of payloads — the whole batch falls back to per-unit
+    :func:`execute_unit` calls, so error records (status, message,
+    traceback) stay byte-identical to a run without batching.
+    """
+    if batch_worker is None:
+        return [execute_unit(worker, unit) for unit in units]
+    started = perf_counter()
+    try:
+        payloads = batch_worker(list(units))
+        if len(payloads) != len(units):
+            payloads = None
+    except Exception:  # noqa: BLE001 - fall back for exact error records
+        payloads = None
+    if payloads is None:
+        # Outside the except block, so the per-unit workers re-raise
+        # with a clean exception context — their recorded tracebacks are
+        # byte-identical to a run that never attempted the batch.
+        return [execute_unit(worker, unit) for unit in units]
+    share = (perf_counter() - started) / len(units)
+    records = []
+    for unit, payload in zip(units, payloads):
+        record = dict(unit)
+        record.update(status="ok", payload=payload, error=None, duration_s=share)
+        records.append(record)
+    return records
+
+
 def _execute_chunk(
-    worker: Worker, units: Sequence[Dict[str, object]]
+    worker: Worker,
+    units: Sequence[Dict[str, object]],
+    batch_worker: Optional[BatchWorker] = None,
 ) -> List[Dict[str, object]]:
     """Run a chunk of units inside one worker process (reduces IPC)."""
-    return [execute_unit(worker, unit) for unit in units]
+    return execute_batch(worker, batch_worker, units)
 
 
 def _crashed_record(unit: Dict[str, object], message: str) -> Dict[str, object]:
@@ -201,6 +248,7 @@ def _run_parallel(
     jobs: int,
     chunk_size: Optional[int],
     collector: _Collector,
+    batch_worker: Optional[BatchWorker] = None,
 ) -> None:
     if chunk_size is None:
         # Aim for ~4 chunks per worker to balance scheduling slack
@@ -219,7 +267,9 @@ def _run_parallel(
     pool = _make_pool(jobs)
     try:
         futures = {
-            pool.submit(_execute_chunk, worker, [u.as_dict() for u in chunk]): chunk
+            pool.submit(
+                _execute_chunk, worker, [u.as_dict() for u in chunk], batch_worker
+            ): chunk
             for chunk in chunks
         }
         while futures:
@@ -269,7 +319,10 @@ def _run_parallel(
                     for chunk_ in survivors:
                         futures[
                             pool.submit(
-                                _execute_chunk, worker, [u.as_dict() for u in chunk_]
+                                _execute_chunk,
+                                worker,
+                                [u.as_dict() for u in chunk_],
+                                batch_worker,
                             )
                         ] = chunk_
     finally:
@@ -285,6 +338,7 @@ def run_campaign(
     progress: Optional[ProgressCallback] = None,
     chunk_size: Optional[int] = None,
     cache=None,
+    batch_worker: Optional[BatchWorker] = None,
 ) -> CampaignReport:
     """Execute every unit of ``campaign`` through ``worker``.
 
@@ -301,6 +355,13 @@ def run_campaign(
             ``(worker, semantic spec)`` key is already stored are served
             from it instead of executed — de-duplicating identical units
             across campaigns — and fresh successes are stored back.
+        batch_worker: optional module-level callable claiming a whole
+            chunk of units at once (see :data:`BatchWorker`).  Must
+            produce exactly the payloads ``worker`` would, so the
+            aggregate ``summary.json`` is byte-identical with and
+            without it; any batch failure falls back to per-unit
+            execution (see :func:`execute_batch`).  Unit de-duplication
+            still keys on ``worker``'s identity.
 
     Returns:
         The report with records sorted by grid index.  When a store is
@@ -363,10 +424,16 @@ def run_campaign(
         cache=cache, worker_name=worker_name,
     )
     if jobs == 1 or len(pending) <= 1:
-        for unit in pending:
-            collector.add(execute_unit(worker, unit.as_dict()))
+        if batch_worker is not None and len(pending) > 1:
+            for record in execute_batch(
+                worker, batch_worker, [unit.as_dict() for unit in pending]
+            ):
+                collector.add(record)
+        else:
+            for unit in pending:
+                collector.add(execute_unit(worker, unit.as_dict()))
     else:
-        _run_parallel(worker, pending, jobs, chunk_size, collector)
+        _run_parallel(worker, pending, jobs, chunk_size, collector, batch_worker)
 
     report.records.sort(key=lambda record: record.get("index", 0))
     if store is not None:

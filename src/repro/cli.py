@@ -9,6 +9,7 @@ reproduction experiments and a few utility commands::
     ringsim census 9 6               # configuration census for k=6, n=9
     ringsim feasibility 14           # searching feasibility table up to n=14
     ringsim demo align 12 5          # watch Align run on a random rigid start
+    ringsim batch align 12 5 --seeds 0-63    # batched seed sweep (one engine)
     ringsim verify gathering --k 3-5 --n 8   # exhaustive model check
     ringsim serve --port 8421        # HTTP API over the same executor
 
@@ -35,7 +36,7 @@ from .experiments import EXPERIMENTS
 from .experiments.report import render_table
 from .modelcheck import TASKS as VERIFY_TASKS
 from .modelcheck.grid import DEFAULT_MAX_STATES
-from .runs import ExperimentSpec, SimulateSpec, VerifySpec, execute
+from .runs import SCHEDULERS, BatchSweepSpec, ExperimentSpec, SimulateSpec, VerifySpec, execute
 from .simulator.options import (
     DEFAULT_CONFIG_POOL_SIZE,
     DEFAULT_DECISION_CACHE_SIZE,
@@ -105,6 +106,28 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"bound of the engine's configuration-pool LRU (default: {DEFAULT_CONFIG_POOL_SIZE})",
     )
     _add_cache_arguments(demo)
+
+    batch = sub.add_parser(
+        "batch",
+        help="run a seed sweep of one algorithm as a single batched simulation",
+    )
+    batch.add_argument("algorithm", choices=sorted(_DEMO_ALGORITHMS))
+    batch.add_argument("n", type=int)
+    batch.add_argument("k", type=int)
+    batch.add_argument("--steps", type=int, default=200)
+    batch.add_argument(
+        "--seeds", default="0-15", metavar="GRID", type=parse_int_grid,
+        help="run seeds: '4', '0,7' or '0-63' (combinable; default: 0-15)",
+    )
+    batch.add_argument(
+        "--scheduler", choices=sorted(SCHEDULERS), default="sequential",
+        help="scheduler shared by every run (default: sequential)",
+    )
+    batch.add_argument(
+        "--backend", choices=["auto", "numpy", "stdlib"], default="auto",
+        help="occupancy-matrix backend (results are byte-identical; default: auto)",
+    )
+    _add_cache_arguments(batch)
 
     verify = sub.add_parser(
         "verify",
@@ -372,6 +395,55 @@ def _run_demo(parser, args, out, cache=None) -> int:
     return 0
 
 
+def _run_batch(parser, args, out, cache=None) -> int:
+    profile = _DEMO_ALGORITHMS[args.algorithm]
+    gathering = profile["gathering"]
+    try:
+        spec = BatchSweepSpec(
+            algorithm=args.algorithm,
+            n=args.n,
+            k=args.k,
+            steps=args.steps,
+            seeds=args.seeds,
+            scheduler=args.scheduler,
+            stop=profile["stop"],
+            engine=EngineOptions(
+                exclusive=not gathering,
+                multiplicity_detection=gathering,
+            ),
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+    result = execute(
+        spec,
+        cache=cache,
+        refresh=getattr(args, "refresh", False),
+        backend=None if args.backend == "auto" else args.backend,
+    )
+    payload = result.payload
+    rows = []
+    for seed, run in zip(payload["seeds"], payload["runs"]):
+        outcome = "collision" if run["had_collision"] else run["stopped_reason"]
+        if run["reached_c_star"]:
+            outcome += ", C*"
+        if gathering and run["gathered"]:
+            outcome += ", gathered"
+        rows.append(
+            (seed, run["steps_executed"], run["total_moves"], outcome, run["final_art"])
+        )
+    print(
+        render_table(("seed", "steps", "moves", "outcome", "final"), rows),
+        file=out,
+    )
+    print(
+        f"{payload['num_runs']} runs of {payload['algorithm']} on "
+        f"(k={payload['k']}, n={payload['n']})"
+        + (" [cached]" if result.cached else ""),
+        file=out,
+    )
+    return 0 if payload["passed"] else 1
+
+
 def _run_verify(parser, args, out, cache=None) -> int:
     ks, ns = args.k, args.n
     cells = [(k, n) for n in ns for k in ks if 1 <= k <= n and n >= 3]
@@ -442,6 +514,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         )
     if args.command == "demo":
         return _run_demo(parser, args, out, cache=cache)
+    if args.command == "batch":
+        return _run_batch(parser, args, out, cache=cache)
     if args.command == "verify":
         return _run_verify(parser, args, out, cache=cache)
     if args.command == "serve":

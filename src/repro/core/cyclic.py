@@ -22,7 +22,7 @@ configuration enumeration in :mod:`repro.analysis.enumeration`.
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Iterator, List, Sequence, Tuple, TypeVar
+from typing import Iterable, Iterator, List, Sequence, Tuple, TypeVar
 
 __all__ = [
     "rotate",
@@ -303,6 +303,37 @@ class PackedSequenceCodec:
             out[i] = packed & mask
             packed >>= bits
         return tuple(out)
+
+    # ------------------------------------------------------------------ #
+    # batch packing
+    # ------------------------------------------------------------------ #
+    @property
+    def place_values(self) -> Tuple[int, ...]:
+        """Big-endian digit weights: ``pack(seq) == sum(w * d for w, d in zip(...))``.
+
+        This is the bridge between the packed-int representation and a
+        ``(batch, n)`` digit matrix: a whole batch of sequences packs in
+        one matrix-vector product against these weights (the batched
+        engine's NumPy backend uses exactly that, with object dtype when
+        ``total_bits`` exceeds 64).
+        """
+        bits = self.digit_bits
+        return tuple(1 << (bits * (self.n - 1 - i)) for i in range(self.n))
+
+    def pack_many(self, rows: Iterable[Sequence[int]]) -> List[int]:
+        """Pack a batch of sequences (one :meth:`pack` per row, no checks)."""
+        bits = self.digit_bits
+        out: List[int] = []
+        for row in rows:
+            packed = 0
+            for value in row:
+                packed = (packed << bits) | value
+            out.append(packed)
+        return out
+
+    def unpack_many(self, packed_values: Iterable[int]) -> List[Tuple[int, ...]]:
+        """Unpack a batch of packed values (inverse of :meth:`pack_many`)."""
+        return [self.unpack(value) for value in packed_values]
 
     # ------------------------------------------------------------------ #
     # dihedral action on packed values

@@ -18,6 +18,7 @@ from ..algorithms.gathering import GatheringAlgorithm, gathering_supported
 from ..algorithms.nminusthree import NminusThreeAlgorithm, nminusthree_supported
 from ..algorithms.ring_clearing import RingClearingAlgorithm, ring_clearing_supported
 from ..analysis.metrics import clearing_metrics, summarize
+from ..batchsim import BatchEngine
 from ..campaign import run_experiment_campaign
 from ..simulator.engine import Simulator
 from ..simulator.runner import run_gathering
@@ -25,7 +26,7 @@ from ..tasks import SearchingMonitor
 from ..workloads.generators import random_rigid_configuration
 from .report import ExperimentResult
 
-__all__ = ["run", "run_unit"]
+__all__ = ["run", "run_unit", "run_units_batched"]
 
 
 def _align_moves(n: int, k: int, samples: int, seed: int) -> dict:
@@ -69,6 +70,48 @@ def _clearing_cost(n: int, k: int, samples: int, seed: int, steps_factor: int) -
     return summarize(costs)
 
 
+def _align_moves_batched(n: int, k: int, samples: int, seed: int) -> dict:
+    """Batched :func:`_align_moves`: one engine, one lane per sample.
+
+    The configurations are drawn from the same RNG stream as the
+    per-run path (the simulations themselves never touch that RNG), and
+    the batched engine's traces are byte-identical to the per-run ones,
+    so the returned statistics match :func:`_align_moves` exactly.
+    """
+    rng = random.Random(seed)
+    configurations = [random_rigid_configuration(n, k, rng) for _ in range(samples)]
+    engine = BatchEngine(AlignAlgorithm(), configurations, record_events=False)
+    engine.run_until_configuration(
+        lambda c: c.is_c_star(), 40 * n * k + 200, invariant=True
+    )
+    return summarize([engine.lane(i).total_moves for i in range(samples)])
+
+
+def _clearing_cost_batched(
+    n: int, k: int, samples: int, seed: int, steps_factor: int
+) -> dict:
+    """Batched :func:`_clearing_cost` (one searching monitor per lane)."""
+    if ring_clearing_supported(n, k):
+        algorithm = RingClearingAlgorithm()
+    elif nminusthree_supported(n, k):
+        algorithm = NminusThreeAlgorithm()
+    else:
+        return {"mean": float("nan"), "min": 0.0, "max": 0.0, "stdev": 0.0}
+    rng = random.Random(seed + 2)
+    configurations = [random_rigid_configuration(n, k, rng) for _ in range(samples)]
+    searchers = [SearchingMonitor() for _ in range(samples)]
+    engine = BatchEngine(
+        algorithm, configurations, monitors_factory=lambda i: [searchers[i]]
+    )
+    engine.run(steps_factor * n * k)
+    costs = []
+    for i in range(samples):
+        metrics = clearing_metrics(searchers[i], trace=engine.lane_trace(i))
+        if metrics.moves_to_full_clear is not None:
+            costs.append(metrics.moves_to_full_clear)
+    return summarize(costs)
+
+
 def _json_safe(value):
     """NaN is not valid JSON; report missing measurements as ``"-"``."""
     if isinstance(value, float) and value != value:
@@ -76,17 +119,8 @@ def _json_safe(value):
     return value
 
 
-def run_unit(unit):
-    """Campaign worker: measure the scaling quantities of one ``(k, n)`` cell."""
-    k, n = unit["k"], unit["n"]
-    samples, seed = unit["samples"], unit["seed"]
-    align_stats = _align_moves(n, k, samples, seed)
-    gather_stats = (
-        _gathering_moves(n, k, samples, seed)
-        if gathering_supported(n, k)
-        else {"mean": float("nan")}
-    )
-    cost_stats = _clearing_cost(n, k, max(2, samples // 2), seed, unit["steps_factor"])
+def _unit_payload(k, n, align_stats, gather_stats, cost_stats):
+    """Assemble one cell's payload (shared by both worker flavours)."""
     cost_mean = _json_safe(cost_stats["mean"])
     return {
         "row": [
@@ -100,6 +134,49 @@ def run_unit(unit):
         ],
         "passed": True,
     }
+
+
+def run_unit(unit):
+    """Campaign worker: measure the scaling quantities of one ``(k, n)`` cell."""
+    k, n = unit["k"], unit["n"]
+    samples, seed = unit["samples"], unit["seed"]
+    align_stats = _align_moves(n, k, samples, seed)
+    gather_stats = (
+        _gathering_moves(n, k, samples, seed)
+        if gathering_supported(n, k)
+        else {"mean": float("nan")}
+    )
+    cost_stats = _clearing_cost(n, k, max(2, samples // 2), seed, unit["steps_factor"])
+    return _unit_payload(k, n, align_stats, gather_stats, cost_stats)
+
+
+def run_units_batched(units):
+    """Batch campaign worker: :func:`run_unit` payloads, batched engine.
+
+    Claims a whole chunk of cells at once (see
+    :func:`repro.campaign.execute_batch`).  The pure-global-rule
+    measures (Align convergence, ring-clearing cost) run every sample of
+    a cell as one lane of a shared :class:`~repro.batchsim.BatchEngine`;
+    gathering stays per-run (its multiplicity-dependent decisions have
+    no batched fast path).  Payloads are byte-identical to
+    :func:`run_unit`'s — any failure makes the executor fall back to the
+    per-unit worker, keeping error records identical too.
+    """
+    payloads = []
+    for unit in units:
+        k, n = unit["k"], unit["n"]
+        samples, seed = unit["samples"], unit["seed"]
+        align_stats = _align_moves_batched(n, k, samples, seed)
+        gather_stats = (
+            _gathering_moves(n, k, samples, seed)
+            if gathering_supported(n, k)
+            else {"mean": float("nan")}
+        )
+        cost_stats = _clearing_cost_batched(
+            n, k, max(2, samples // 2), seed, unit["steps_factor"]
+        )
+        payloads.append(_unit_payload(k, n, align_stats, gather_stats, cost_stats))
+    return payloads
 
 
 def run(variant: str = "quick", jobs: int = 1, store=None, progress=None, cache=None) -> ExperimentResult:
@@ -117,7 +194,11 @@ def run(variant: str = "quick", jobs: int = 1, store=None, progress=None, cache=
             "full clear moves / n",
         ),
     )
-    report = run_experiment_campaign("e7", variant, run_unit, jobs=jobs, store=store, progress=progress, cache=cache)
+    report = run_experiment_campaign(
+        "e7", variant, run_unit,
+        jobs=jobs, store=store, progress=progress, cache=cache,
+        batch_worker=run_units_batched,
+    )
     result.apply_campaign_report(report)
     result.add_note(
         "expected shape: align moves / (n*k) stays bounded by a small constant; "

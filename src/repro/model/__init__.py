@@ -1,6 +1,6 @@
 """Robot model: snapshots, decisions, the algorithm protocol, robot state."""
 
-from .algorithm import Algorithm, GlobalRuleAlgorithm, PlannedMoves
+from .algorithm import Algorithm, GlobalRuleAlgorithm, PlannedMoves, is_pure_global_rule
 from .decisions import Decision, DecisionKind
 from .robot import RobotState
 from .snapshot import Snapshot
@@ -13,4 +13,5 @@ __all__ = [
     "DecisionKind",
     "RobotState",
     "Snapshot",
+    "is_pure_global_rule",
 ]

@@ -39,6 +39,7 @@ __all__ = [
     "PlannedMoves",
     "DecisionCache",
     "DEFAULT_DECISION_CACHE_SIZE",
+    "is_pure_global_rule",
 ]
 
 #: Default bound of a :class:`DecisionCache`; the engine, the runners and
@@ -117,6 +118,7 @@ class GlobalRuleAlgorithm(Algorithm):
     """Base class for algorithms defined by an equivariant global planner."""
 
     def compute(self, snapshot: Snapshot) -> Decision:
+        """Derive this robot's decision from the global plan at its frame."""
         configuration = snapshot.local_configuration()
         moves = self.plan_for_snapshot(configuration, snapshot)
         if 0 not in moves:
@@ -155,3 +157,27 @@ class GlobalRuleAlgorithm(Algorithm):
     def planned_moves(self, configuration: Configuration) -> Dict[int, int]:
         """Public wrapper returning a concrete dict copy of :meth:`plan`."""
         return dict(self.plan(configuration))
+
+
+def is_pure_global_rule(algorithm: Algorithm) -> bool:
+    """Whether an algorithm's decisions are a pure function of its plan.
+
+    True for :class:`GlobalRuleAlgorithm` subclasses that override
+    neither :meth:`GlobalRuleAlgorithm.compute` nor
+    :meth:`GlobalRuleAlgorithm.plan_for_snapshot` — for those, the
+    decision of a robot at global node ``p`` in configuration ``C`` is
+    determined by ``plan(C)`` alone (equivariance makes it independent
+    of the adversary's view presentation order and of snapshot-only
+    data like multiplicity flags).  Such algorithms admit a *global*
+    evaluation fast path: compute one plan per configuration and read
+    every robot's move off it, instead of building ``2k`` directed-view
+    snapshots.  Used by the branching adversary driver
+    (:mod:`repro.simulator.branching`) and the batched engine
+    (:mod:`repro.batchsim`).
+    """
+    algorithm_type = type(algorithm)
+    return (
+        isinstance(algorithm, GlobalRuleAlgorithm)
+        and algorithm_type.compute is GlobalRuleAlgorithm.compute
+        and algorithm_type.plan_for_snapshot is GlobalRuleAlgorithm.plan_for_snapshot
+    )

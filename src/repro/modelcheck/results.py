@@ -48,6 +48,7 @@ class WitnessStep:
     counts_after: Counts
 
     def as_jsonable(self) -> Dict[str, object]:
+        """Serialise the step for witness JSON documents."""
         return {
             "profile": [a.as_jsonable() for a in self.profile],
             "after": list(self.counts_after),
@@ -73,6 +74,7 @@ class Witness:
     note: str
 
     def as_jsonable(self) -> Dict[str, object]:
+        """Serialise the full counterexample for verdict JSON documents."""
         return {
             "initial": list(self.initial_counts),
             "steps": [step.as_jsonable() for step in self.steps],

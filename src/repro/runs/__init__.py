@@ -9,6 +9,7 @@ package gives them one front door:
 * :mod:`repro.runs.spec` — frozen, JSON-serialisable
   :class:`~repro.runs.spec.RunSpec` objects
   (:class:`~repro.runs.spec.SimulateSpec`,
+  :class:`~repro.runs.spec.BatchSweepSpec`,
   :class:`~repro.runs.spec.VerifySpec`,
   :class:`~repro.runs.spec.ExperimentSpec`), each embedding the shared
   :class:`~repro.simulator.options.EngineOptions` bundle;
@@ -38,6 +39,7 @@ from .spec import (
     ALGORITHMS,
     SCHEDULERS,
     STOP_CONDITIONS,
+    BatchSweepSpec,
     ExperimentSpec,
     RunSpec,
     SimulateSpec,
@@ -52,6 +54,7 @@ __all__ = [
     "ALGORITHMS",
     "SCHEDULERS",
     "STOP_CONDITIONS",
+    "BatchSweepSpec",
     "CACHE_SCHEMA_VERSION",
     "EngineOptions",
     "ExperimentSpec",

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from hashlib import sha256
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
+from ..batchsim import BatchEngine
 from ..campaign import ProgressCallback, ResultStore
 from ..core.configuration import Configuration
 from ..experiments import EXPERIMENTS
@@ -31,6 +32,7 @@ from ..workloads.generators import random_rigid_configuration
 from .cache import ResultCache, as_result_cache, cache_key
 from .spec import (
     STOP_CONDITIONS,
+    BatchSweepSpec,
     ExperimentSpec,
     RunSpec,
     SimulateSpec,
@@ -74,27 +76,25 @@ class RunResult:
 # --------------------------------------------------------------------- #
 # simulate
 # --------------------------------------------------------------------- #
-def _execute_simulate(
-    spec: SimulateSpec,
-    *,
-    jobs: int,
-    shards: int,
-    store: Optional[Union[str, ResultStore]],
-    progress: Optional[ProgressCallback],
-    cache: Optional[ResultCache],
-) -> Tuple[Dict[str, object], bool, bool]:
-    if spec.initial is not None:
-        configuration = Configuration(spec.initial)
-    else:
-        configuration = random_rigid_configuration(spec.n, spec.k, random.Random(spec.seed))
-    engine = Simulator(
-        make_algorithm(spec.algorithm),
-        configuration,
-        scheduler=make_scheduler(spec.scheduler, spec.seed),
-        options=spec.engine,
-    )
-    stop = STOP_CONDITIONS.get(spec.stop) if spec.stop is not None else None
-    trace = engine.run(spec.steps, stop=stop)
+#: Batched forms of :data:`~repro.runs.spec.STOP_CONDITIONS`: the same
+#: predicates phrased on a :class:`Configuration` (the batched engine
+#: has no per-lane simulator object to hand a predicate).  Both are
+#: invariant under ring rotation/reflection, which lets the engine memo
+#: verdicts per dihedral class (``stop_invariant=True``).
+_BATCH_STOP_CONDITIONS: Dict[str, Callable[[Configuration], bool]] = {
+    "c_star": lambda configuration: configuration.is_c_star(),
+    "gathered": lambda configuration: configuration.num_occupied == 1,
+}
+
+
+def _simulate_payload(configuration: Configuration, trace) -> Dict[str, object]:
+    """The ``simulate`` result document of one finished trace.
+
+    Shared by the per-run and batched executors: because batched traces
+    are byte-identical to per-run traces, routing both through this one
+    function makes each batch-sweep run document equal the stand-alone
+    ``simulate`` document of the same (algorithm, seed, options) run.
+    """
     final = trace.final_configuration
     frames: List[Dict[str, object]] = []
     for event in trace.events:
@@ -121,6 +121,80 @@ def _execute_simulate(
         "gathered": final.num_occupied == 1,
         "had_collision": trace.had_collision,
         "trace_sha256": sha256(trace.canonical_bytes()).hexdigest(),
+    }
+
+
+def _execute_simulate(
+    spec: SimulateSpec,
+    *,
+    jobs: int,
+    shards: int,
+    store: Optional[Union[str, ResultStore]],
+    progress: Optional[ProgressCallback],
+    cache: Optional[ResultCache],
+    backend: Optional[str],
+) -> Tuple[Dict[str, object], bool, bool]:
+    if spec.initial is not None:
+        configuration = Configuration(spec.initial)
+    else:
+        configuration = random_rigid_configuration(spec.n, spec.k, random.Random(spec.seed))
+    engine = Simulator(
+        make_algorithm(spec.algorithm),
+        configuration,
+        scheduler=make_scheduler(spec.scheduler, spec.seed),
+        options=spec.engine,
+    )
+    stop = STOP_CONDITIONS.get(spec.stop) if spec.stop is not None else None
+    trace = engine.run(spec.steps, stop=stop)
+    return _simulate_payload(configuration, trace), False, False
+
+
+# --------------------------------------------------------------------- #
+# batch sweep
+# --------------------------------------------------------------------- #
+def _execute_batchsweep(
+    spec: BatchSweepSpec,
+    *,
+    jobs: int,
+    shards: int,
+    store: Optional[Union[str, ResultStore]],
+    progress: Optional[ProgressCallback],
+    cache: Optional[ResultCache],
+    backend: Optional[str],
+) -> Tuple[Dict[str, object], bool, bool]:
+    configurations = [
+        random_rigid_configuration(spec.n, spec.k, random.Random(seed))
+        for seed in spec.seeds
+    ]
+    engine = BatchEngine(
+        make_algorithm(spec.algorithm),
+        configurations,
+        scheduler_factory=lambda index: make_scheduler(spec.scheduler, spec.seeds[index]),
+        options=spec.engine,
+        backend=backend,
+    )
+    if spec.stop is not None:
+        engine.run(
+            spec.steps,
+            stop_configuration=_BATCH_STOP_CONDITIONS[spec.stop],
+            stop_invariant=True,
+        )
+    else:
+        engine.run(spec.steps)
+    # Each run document is exactly what executing ``spec.member(seed)``
+    # would return — the seeds themselves live in ``"seeds"`` alongside.
+    runs = [
+        _simulate_payload(configurations[index], engine.lane_trace(index))
+        for index in range(len(spec.seeds))
+    ]
+    return {
+        "algorithm": spec.algorithm,
+        "n": spec.n,
+        "k": spec.k,
+        "seeds": list(spec.seeds),
+        "num_runs": len(runs),
+        "runs": runs,
+        "passed": not any(run["had_collision"] for run in runs),
     }, False, False
 
 
@@ -135,6 +209,7 @@ def _execute_verify(
     store: Optional[Union[str, ResultStore]],
     progress: Optional[ProgressCallback],
     cache: Optional[ResultCache],
+    backend: Optional[str],
 ) -> Tuple[Dict[str, object], bool, bool]:
     report = run_verify_campaign(
         spec.task,
@@ -200,6 +275,7 @@ def _execute_experiment(
     store: Optional[Union[str, ResultStore]],
     progress: Optional[ProgressCallback],
     cache: Optional[ResultCache],
+    backend: Optional[str],
 ) -> Tuple[Dict[str, object], bool, bool]:
     result = EXPERIMENTS[spec.name](
         spec.variant, jobs=jobs, store=store, progress=progress, cache=cache
@@ -230,6 +306,7 @@ def _execute_experiment(
 #: stored as the spec's canonical result.
 _EXECUTORS: Dict[type, Callable[..., Tuple[Dict[str, object], bool, bool]]] = {
     SimulateSpec: _execute_simulate,
+    BatchSweepSpec: _execute_batchsweep,
     VerifySpec: _execute_verify,
     ExperimentSpec: _execute_experiment,
 }
@@ -265,6 +342,7 @@ def execute(
     progress: Optional[ProgressCallback] = None,
     cache: Optional[Union[str, ResultCache]] = None,
     refresh: bool = False,
+    backend: Optional[str] = None,
 ) -> RunResult:
     """Execute one run spec and return its result.
 
@@ -285,6 +363,11 @@ def execute(
         cache: result cache (path or instance).  Serves whole-run hits
             and de-duplicates campaign units; ``None`` disables caching.
         refresh: execute even on a cache hit and overwrite the entry.
+        backend: batched-engine occupancy backend for ``batch_sweep``
+            runs (``"numpy"``, ``"stdlib"`` or ``None``/``"auto"``; see
+            :mod:`repro.batchsim.backends`).  Execution context like
+            ``jobs``: every backend produces byte-identical payloads, so
+            it never enters the spec or the cache key.
 
     Returns:
         A :class:`RunResult`; ``cached`` is ``True`` iff the payload was
@@ -308,7 +391,13 @@ def execute(
         _WriteOnlyCache(result_cache) if refresh and result_cache is not None else result_cache
     )
     payload, transient, history_dependent = executor(
-        spec, jobs=jobs, shards=shards, store=store, progress=progress, cache=unit_cache
+        spec,
+        jobs=jobs,
+        shards=shards,
+        store=store,
+        progress=progress,
+        cache=unit_cache,
+        backend=backend,
     )
     # Whole-run entries are written only for runs whose payload is the
     # spec's canonical result: no transient worker failures (those must

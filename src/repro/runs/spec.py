@@ -48,6 +48,7 @@ __all__ = [
     "ALGORITHMS",
     "SCHEDULERS",
     "STOP_CONDITIONS",
+    "BatchSweepSpec",
     "RunSpec",
     "SimulateSpec",
     "VerifySpec",
@@ -191,6 +192,80 @@ class SimulateSpec(RunSpec):
 
 
 @dataclass(frozen=True)
+class BatchSweepSpec(RunSpec):
+    """A seed sweep of one simulation setup, run as one batch.
+
+    Semantically this is a list of :class:`SimulateSpec` runs sharing
+    everything but the seed (see :meth:`member`); execution advances all
+    of them together through :class:`repro.batchsim.BatchEngine`, whose
+    traces are byte-identical to per-run traces — so each entry of the
+    result's ``"runs"`` list equals the payload of executing the
+    corresponding member spec on its own.
+
+    Attributes:
+        algorithm: registered algorithm name (see :data:`ALGORITHMS`).
+        n: ring size.
+        k: number of robots.
+        steps: per-run step budget.
+        seeds: one seed per run; each seeds that run's random rigid
+            starting configuration and its scheduler (when random).
+        scheduler: registered scheduler name, shared by every run.
+        stop: optional early-stop condition name, shared by every run.
+        engine: the engine option bundle, shared by every run.
+    """
+
+    kind: ClassVar[str] = "batch_sweep"
+
+    algorithm: str = "align"
+    n: int = 12
+    k: int = 5
+    steps: int = 200
+    seeds: Tuple[int, ...] = (0,)
+    scheduler: str = "sequential"
+    stop: Optional[str] = None
+    engine: EngineOptions = field(default_factory=EngineOptions)
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in ALGORITHMS:
+            raise ValueError(
+                f"unknown algorithm {self.algorithm!r}; expected one of {sorted(ALGORITHMS)}"
+            )
+        if self.scheduler not in SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {self.scheduler!r}; expected one of {sorted(SCHEDULERS)}"
+            )
+        if self.stop is not None and self.stop not in STOP_CONDITIONS:
+            raise ValueError(
+                f"unknown stop condition {self.stop!r}; expected one of {sorted(STOP_CONDITIONS)}"
+            )
+        for name in ("n", "k", "steps"):
+            _require_int("batch_sweep", name, getattr(self, name))
+        if self.n < 3 or not 1 <= self.k <= self.n:
+            raise ValueError(f"need n >= 3 and 1 <= k <= n, got k={self.k}, n={self.n}")
+        if self.steps < 0:
+            raise ValueError("steps must be >= 0")
+        seeds = tuple(_require_int("batch_sweep", "seeds[]", s) for s in self.seeds)
+        if not seeds:
+            raise ValueError("seeds must be non-empty")
+        object.__setattr__(self, "seeds", seeds)
+        if not isinstance(self.engine, EngineOptions):
+            raise TypeError("engine must be an EngineOptions instance")
+
+    def member(self, seed: int) -> SimulateSpec:
+        """The equivalent stand-alone spec of this sweep's ``seed`` run."""
+        return SimulateSpec(
+            algorithm=self.algorithm,
+            n=self.n,
+            k=self.k,
+            steps=self.steps,
+            seed=seed,
+            scheduler=self.scheduler,
+            stop=self.stop,
+            engine=self.engine,
+        )
+
+
+@dataclass(frozen=True)
 class VerifySpec(RunSpec):
     """One exhaustive model-checking grid: a task over ``(k, n)`` cells.
 
@@ -252,6 +327,7 @@ class ExperimentSpec(RunSpec):
 #: Registry used by :func:`spec_from_jsonable`.
 _SPEC_KINDS: Dict[str, Type[RunSpec]] = {
     SimulateSpec.kind: SimulateSpec,
+    BatchSweepSpec.kind: BatchSweepSpec,
     VerifySpec.kind: VerifySpec,
     ExperimentSpec.kind: ExperimentSpec,
 }
@@ -286,6 +362,8 @@ def spec_from_jsonable(document: Dict[str, object]) -> RunSpec:
             data["engine"] = EngineOptions.from_jsonable(data["engine"])
         if "initial" in data and isinstance(data["initial"], list):
             data["initial"] = tuple(data["initial"])
+        if "seeds" in data and isinstance(data["seeds"], list):
+            data["seeds"] = tuple(data["seeds"])
         if "cells" in data and isinstance(data["cells"], list):
             data["cells"] = tuple(tuple(cell) for cell in data["cells"])
         return spec_cls(**data)  # type: ignore[arg-type]

@@ -62,6 +62,7 @@ class AsynchronousScheduler(Scheduler):
         self._since_look: Dict[int, int] = {}
 
     def reset(self) -> None:
+        """Restore the seeded RNG and forget all pending/starvation ages."""
         self._rng = random.Random(self._seed)
         self._pending_age = {}
         self._since_look = {}
@@ -76,6 +77,7 @@ class AsynchronousScheduler(Scheduler):
             self._since_look[r] += 1
 
     def next_activation(self, engine: "Simulator") -> Activation:
+        """Pick the next phase moves under the fairness-bounded adversary."""
         self._tick(engine)
         k = engine.num_robots
         pending = [r for r in range(k) if engine.robot(r).has_pending_move]

@@ -44,10 +44,12 @@ class SequentialScheduler(Scheduler):
         self._next_index = 0
 
     def reset(self) -> None:
+        """Restore the seeded RNG and restart the round-robin cursor."""
         self._rng = random.Random(self._seed)
         self._next_index = 0
 
     def next_activation(self, engine: "Simulator") -> Activation:
+        """Activate one robot chosen by the configured policy."""
         k = engine.num_robots
         if callable(self._policy):
             robot = self._policy(engine)
@@ -95,9 +97,11 @@ class ScriptedScheduler(Scheduler):
         self._cursor = 0
 
     def reset(self) -> None:
+        """Rewind the script to its first activation."""
         self._cursor = 0
 
     def next_activation(self, engine: "Simulator") -> Activation:
+        """Play the next scripted activation (looping when ``repeat``)."""
         if self._cursor >= len(self._script):
             if not self._repeat:
                 raise SchedulerError("scripted scheduler exhausted its script")

@@ -20,6 +20,7 @@ class SynchronousScheduler(Scheduler):
     name = "synchronous"
 
     def next_activation(self, engine: "Simulator") -> Activation:
+        """Activate every robot for one atomic Look-Compute-Move cycle."""
         return Activation.cycle(tuple(range(engine.num_robots)))
 
 
@@ -47,10 +48,12 @@ class SemiSynchronousScheduler(Scheduler):
         self._starvation: dict[int, int] = {}
 
     def reset(self) -> None:
+        """Restore the seeded RNG and clear the starvation counters."""
         self._rng = random.Random(self._seed)
         self._starvation = {}
 
     def next_activation(self, engine: "Simulator") -> Activation:
+        """Activate a fair, random, non-empty subset for atomic cycles."""
         k = engine.num_robots
         if not self._starvation:
             self._starvation = {r: 0 for r in range(k)}

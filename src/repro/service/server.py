@@ -284,6 +284,7 @@ class RunRequestHandler(BaseHTTPRequestHandler):
 
     # -- plumbing ------------------------------------------------------- #
     def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        """Suppress per-request stderr logging unless ``verbose`` is set."""
         if self.verbose:  # pragma: no cover - debug aid
             super().log_message(format, *args)
 
@@ -327,6 +328,7 @@ class RunRequestHandler(BaseHTTPRequestHandler):
 
     # -- endpoints ------------------------------------------------------ #
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        """Serve ``/v1/health`` and ``/v1/runs/<run_id>`` status lookups."""
         path = self.path.rstrip("/") or "/"
         if path == "/v1/health":
             self._send_json(200, self.service.health())
@@ -342,6 +344,7 @@ class RunRequestHandler(BaseHTTPRequestHandler):
         self._send_error_json(404, f"no such endpoint: GET {self.path}")
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        """Accept a spec at ``/v1/runs`` and enqueue (or replay) the run."""
         if self.path.rstrip("/") != "/v1/runs":
             self._send_error_json(404, f"no such endpoint: POST {self.path}")
             return

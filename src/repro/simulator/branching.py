@@ -41,7 +41,7 @@ from ..core.errors import (
 )
 from ..core.ring import CCW, CW, Edge, Ring
 from ..core.symmetry import dihedral_permutation_tables
-from ..model.algorithm import Algorithm, DecisionCache, GlobalRuleAlgorithm
+from ..model.algorithm import Algorithm, DecisionCache, GlobalRuleAlgorithm, is_pure_global_rule
 from ..model.snapshot import Snapshot
 from .engine import ConfigurationPool
 
@@ -179,12 +179,7 @@ class BranchingDriver:
         # classes are double-checked against the per-snapshot path; any
         # mismatch (a planner violating its equivariance contract)
         # permanently disables the fast path for this driver.
-        algorithm_type = type(algorithm)
-        self._global_plan = (
-            isinstance(algorithm, GlobalRuleAlgorithm)
-            and algorithm_type.compute is GlobalRuleAlgorithm.compute
-            and algorithm_type.plan_for_snapshot is GlobalRuleAlgorithm.plan_for_snapshot
-        )
+        self._global_plan = is_pure_global_rule(algorithm)
         self._global_plan_checks = 8
 
     # ------------------------------------------------------------------ #

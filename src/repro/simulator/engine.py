@@ -66,12 +66,14 @@ class ConfigurationPool:
         self._entries: "OrderedDict[Tuple[int, ...], Configuration]" = OrderedDict()
 
     def get(self, counts: Tuple[int, ...]) -> Optional[Configuration]:
+        """The pooled configuration for ``counts``, or ``None`` on a miss."""
         entry = self._entries.get(counts)
         if entry is not None:
             self._entries.move_to_end(counts)
         return entry
 
     def put(self, counts: Tuple[int, ...], configuration: Configuration) -> None:
+        """Cache ``configuration`` under ``counts``, evicting the oldest entry."""
         self._entries[counts] = configuration
         if len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)

@@ -54,6 +54,7 @@ class CompositeMonitor(Monitor):
         return list(self._monitors)
 
     def on_start(self, engine: "Simulator") -> None:
+        """Forward the start event to every wrapped monitor, in order."""
         for monitor in self._monitors:
             monitor.on_start(engine)
 
@@ -63,5 +64,6 @@ class CompositeMonitor(Monitor):
         moves: Sequence[MoveRecord],
         configuration: Configuration,
     ) -> None:
+        """Forward the step event to every wrapped monitor, in order."""
         for monitor in self._monitors:
             monitor.on_step(engine, moves, configuration)

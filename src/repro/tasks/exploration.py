@@ -35,6 +35,7 @@ class ExplorationMonitor(Monitor):
         self.visit_steps: Dict[int, Dict[int, List[int]]] = {}
 
     def on_start(self, engine: "Simulator") -> None:
+        """Record ring geometry and count the initial positions as visits."""
         self.ring_size = engine.ring_size
         self.num_robots = engine.num_robots
         self.visit_counts = {
@@ -54,6 +55,7 @@ class ExplorationMonitor(Monitor):
         moves: Sequence[MoveRecord],
         configuration: Configuration,
     ) -> None:
+        """Credit each executed move as a visit of its target node."""
         step = engine.step_count - 1
         for move in moves:
             self.visit_counts[move.robot_id][move.target] += 1

@@ -31,6 +31,7 @@ class GatheringMonitor(Monitor):
         self._gathered_now = False
 
     def on_start(self, engine: "Simulator") -> None:
+        """Reset the gathering statistics from the initial configuration."""
         self.gathered_at_step = None
         self.broke_apart_after_gathering = False
         self.occupied_history = [engine.configuration.num_occupied]
@@ -45,6 +46,7 @@ class GatheringMonitor(Monitor):
         moves: Sequence[MoveRecord],
         configuration: Configuration,
     ) -> None:
+        """Track occupancy and detect the step at which gathering completes."""
         step = engine.step_count - 1
         self.occupied_history.append(configuration.num_occupied)
         self.max_multiplicity_seen = max(self.max_multiplicity_seen, max(configuration.counts))

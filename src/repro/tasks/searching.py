@@ -279,6 +279,7 @@ class SearchingMonitor(Monitor):
         return self._state
 
     def on_start(self, engine: "Simulator") -> None:
+        """Initialise edge-contamination state from the starting configuration."""
         ring = Ring(engine.ring_size)
         self._state = SearchState(ring, engine.configuration)
         self.clear_history = {e: [] for e in ring.edges()}
@@ -292,6 +293,7 @@ class SearchingMonitor(Monitor):
         moves: Sequence[MoveRecord],
         configuration: Configuration,
     ) -> None:
+        """Propagate contamination through the executed moves and record it."""
         self._step = engine.step_count - 1
         self.state.apply_moves(moves, configuration)
         self._record()

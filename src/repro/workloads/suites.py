@@ -172,11 +172,30 @@ SUITES: Dict[str, Dict[str, Suite]] = {
             samples_per_pair=8,
         ),
     },
+    # Not an experiment: the workload the batched-engine benchmark and
+    # the batch_sweep example exercise — the heaviest E7 scaling cell,
+    # at a batch size where lane setup cost has fully amortised.  Kept
+    # here so the benchmark, the example and the docs cite one source.
+    "batchsim": {
+        "quick": Suite(
+            name="batchsim",
+            description="Batched-engine workload: heaviest E7 scaling cell, batch of 64",
+            pairs=((8, 24),),
+            samples_per_pair=64,
+        ),
+        "full": Suite(
+            name="batchsim",
+            description="Batched-engine workload at batch 256",
+            pairs=((8, 24),),
+            samples_per_pair=256,
+        ),
+    },
 }
 
 
 def get_suite(name: str, variant: str = "quick") -> Suite:
-    """Look up a named suite (``e1`` .. ``e7``; variant ``quick`` or ``full``)."""
+    """Look up a named suite (``e1`` .. ``e7``, or the ``batchsim``
+    benchmark workload; variant ``quick`` or ``full``)."""
     if name not in SUITES:
         raise KeyError(f"unknown suite {name!r}; expected one of {sorted(SUITES)}")
     variants = SUITES[name]

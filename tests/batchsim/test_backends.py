@@ -1,0 +1,103 @@
+"""Unit tests for the batchsim occupancy-matrix backends."""
+
+import pytest
+
+from repro.batchsim.backends import (
+    BACKEND_ENV_VAR,
+    StdlibBackend,
+    available_backends,
+    make_backend,
+    resolve_backend,
+)
+from repro.core.cyclic import packed_codec
+
+ROWS = [(1, 0, 2, 0), (0, 1, 1, 1), (3, 0, 0, 0)]
+
+
+def backend_names():
+    return list(available_backends())
+
+
+@pytest.fixture(params=backend_names())
+def backend(request):
+    return make_backend(request.param, ROWS)
+
+
+class TestRowProtocol:
+    def test_num_lanes(self, backend):
+        assert backend.num_lanes == 3
+
+    def test_counts_roundtrip(self, backend):
+        for i, row in enumerate(ROWS):
+            assert backend.counts(i) == row
+            assert all(type(c) is int for c in backend.counts(i))
+
+    def test_row_mutation_visible_in_counts(self, backend):
+        row = backend.row(0)
+        row[0] -= 1
+        row[1] += 1
+        assert backend.counts(0) == (0, 1, 2, 0)
+
+    def test_tobytes_distinguishes_rows(self, backend):
+        keys = {backend.row(i).tobytes() for i in range(3)}
+        assert len(keys) == 3
+
+    def test_tobytes_tracks_mutation(self, backend):
+        before = backend.row(0).tobytes()
+        backend.row(0)[0] += 1
+        assert backend.row(0).tobytes() != before
+
+    def test_pack_all_matches_codec(self, backend):
+        codec = packed_codec(4, 3)
+        assert backend.pack_all(codec) == codec.pack_many(ROWS)
+
+
+class TestBackendEquivalence:
+    @pytest.mark.skipif(
+        "numpy" not in backend_names(), reason="numpy not installed"
+    )
+    def test_bytes_identical_across_backends(self):
+        # Lane keys must agree between backends: both store int32 rows.
+        a = make_backend("stdlib", ROWS)
+        b = make_backend("numpy", ROWS)
+        for i in range(3):
+            assert a.row(i).tobytes() == b.row(i).tobytes()
+
+    @pytest.mark.skipif(
+        "numpy" not in backend_names(), reason="numpy not installed"
+    )
+    def test_pack_all_object_dtype_survives_int64_overflow(self):
+        # n=24, k=8 digit layout needs 96 bits per packed state.
+        n, k = 24, 8
+        row = tuple([k] + [0] * (n - 1))
+        codec = packed_codec(n, k)
+        packed = make_backend("numpy", [row]).pack_all(codec)
+        assert packed == codec.pack_many([row])
+        assert packed[0] > 2**63
+
+
+class TestResolution:
+    def test_explicit_names(self):
+        assert resolve_backend("stdlib") == "stdlib"
+        with pytest.raises(ValueError, match="unknown batchsim backend"):
+            resolve_backend("cuda")
+
+    def test_auto_prefers_numpy_when_available(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        expected = "numpy" if "numpy" in backend_names() else "stdlib"
+        assert resolve_backend(None) == expected
+        assert resolve_backend("auto") == expected
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "stdlib")
+        assert resolve_backend(None) == "stdlib"
+        assert isinstance(make_backend(None, ROWS), StdlibBackend)
+        # explicit argument beats the environment
+        if "numpy" in backend_names():
+            assert resolve_backend("numpy") == "numpy"
+
+    def test_numpy_requested_but_missing(self, monkeypatch):
+        if "numpy" in backend_names():
+            pytest.skip("numpy installed; covered by CI stdlib-only leg")
+        with pytest.raises(ValueError, match="numpy is not installed"):
+            resolve_backend("numpy")

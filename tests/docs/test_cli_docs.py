@@ -1,0 +1,81 @@
+"""docs/cli.md must match the live argument parser."""
+
+import os
+import re
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+DOC_PATH = os.path.join(REPO_ROOT, "docs", "cli.md")
+
+sys.path.insert(0, os.path.join(REPO_ROOT, "tools"))
+
+from gen_cli_docs import BEGIN_MARKER, END_MARKER, generated_section  # noqa: E402
+
+from repro.cli import build_parser  # noqa: E402
+
+
+def read_doc():
+    with open(DOC_PATH, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def committed_section(document):
+    begin = document.index(BEGIN_MARKER)
+    end = document.index(END_MARKER) + len(END_MARKER)
+    return document[begin:end] + "\n"
+
+
+class TestGeneratedSection:
+    @pytest.mark.skipif(
+        not ((3, 10) <= sys.version_info[:2] <= (3, 12)),
+        reason="argparse help formatting differs outside 3.10-3.12; "
+        "the structural checks below still run",
+    )
+    def test_byte_identical_to_regenerated_help(self):
+        document = read_doc()
+        assert committed_section(document) == generated_section(), (
+            "docs/cli.md is stale; run: python tools/gen_cli_docs.py --write"
+        )
+
+    def test_every_subcommand_documented(self):
+        document = read_doc()
+        parser = build_parser()
+        subactions = [
+            action
+            for action in parser._actions
+            if hasattr(action, "choices") and action.choices and action.dest == "command"
+        ]
+        (subaction,) = subactions
+        for name in subaction.choices:
+            assert f"## `repro {name}`" in document, f"subcommand {name!r} undocumented"
+
+    def test_every_option_flag_documented(self):
+        document = read_doc()
+        parser = build_parser()
+        (subaction,) = [
+            action
+            for action in parser._actions
+            if hasattr(action, "choices") and action.choices and action.dest == "command"
+        ]
+        for name, subparser in subaction.choices.items():
+            for action in subparser._actions:
+                for flag in action.option_strings:
+                    assert flag in document, (
+                        f"flag {flag!r} of `repro {name}` missing from docs/cli.md"
+                    )
+
+    def test_no_undocumented_markers_or_duplicates(self):
+        document = read_doc()
+        assert document.count(BEGIN_MARKER) == 1
+        assert document.count(END_MARKER) == 1
+        # The hand-written part must come first and link the generator.
+        assert document.index("tools/gen_cli_docs.py") < document.index(BEGIN_MARKER)
+
+
+class TestCrossReferences:
+    def test_relative_links_resolve(self):
+        document = read_doc()
+        for target in re.findall(r"\]\(([a-z_]+\.md)(?:#[a-z0-9-]+)?\)", document):
+            assert os.path.exists(os.path.join(REPO_ROOT, "docs", target)), target

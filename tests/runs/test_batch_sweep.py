@@ -1,0 +1,109 @@
+"""Tests for BatchSweepSpec and its batched executor."""
+
+import pytest
+
+from repro.batchsim import available_backends
+from repro.runs import (
+    BatchSweepSpec,
+    EngineOptions,
+    SimulateSpec,
+    cache_key,
+    canonical_spec_json,
+    execute,
+    spec_from_jsonable,
+)
+
+BACKENDS = list(available_backends())
+
+
+class TestSpec:
+    def test_roundtrip_through_jsonable(self):
+        spec = BatchSweepSpec(
+            algorithm="ring-clearing",
+            n=13,
+            k=5,
+            steps=150,
+            seeds=(3, 1, 4),
+            scheduler="semi_synchronous",
+            engine=EngineOptions(collision_policy="record"),
+        )
+        again = spec_from_jsonable(spec.to_jsonable())
+        assert again == spec
+        assert canonical_spec_json(again) == canonical_spec_json(spec)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            BatchSweepSpec(algorithm="teleport")
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            BatchSweepSpec(scheduler="oracle")
+        with pytest.raises(ValueError, match="unknown stop"):
+            BatchSweepSpec(stop="never")
+        with pytest.raises(ValueError, match="seeds must be non-empty"):
+            BatchSweepSpec(seeds=())
+        with pytest.raises(ValueError, match="must be an integer"):
+            BatchSweepSpec(seeds=(0, True))
+        with pytest.raises(ValueError, match="n >= 3"):
+            BatchSweepSpec(n=2, k=1)
+
+    def test_member_spec(self):
+        spec = BatchSweepSpec(
+            algorithm="align", n=12, k=5, steps=300, seeds=(7, 9), stop="c_star"
+        )
+        member = spec.member(9)
+        assert member == SimulateSpec(
+            algorithm="align", n=12, k=5, steps=300, seed=9, stop="c_star"
+        )
+
+    def test_cache_key_is_seed_order_sensitive(self):
+        a = BatchSweepSpec(seeds=(1, 2))
+        b = BatchSweepSpec(seeds=(2, 1))
+        assert cache_key(a) != cache_key(b)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestExecuteParity:
+    def test_runs_equal_member_payloads(self, backend):
+        spec = BatchSweepSpec(
+            algorithm="align", n=12, k=5, steps=400, seeds=(0, 1, 2, 3), stop="c_star"
+        )
+        result = execute(spec, backend=backend)
+        payload = result.payload
+        assert payload["num_runs"] == 4
+        assert payload["seeds"] == [0, 1, 2, 3]
+        for index, seed in enumerate(spec.seeds):
+            assert payload["runs"][index] == execute(spec.member(seed)).payload
+        assert payload["passed"]
+
+    def test_collision_recording_parity(self, backend):
+        spec = BatchSweepSpec(
+            algorithm="sweep",
+            n=10,
+            k=4,
+            steps=40,
+            seeds=(5, 6),
+            scheduler="synchronous",
+            engine=EngineOptions(collision_policy="record"),
+        )
+        result = execute(spec, backend=backend)
+        for index, seed in enumerate(spec.seeds):
+            assert result.payload["runs"][index] == execute(spec.member(seed)).payload
+        assert result.payload["passed"] == (
+            not any(run["had_collision"] for run in result.payload["runs"])
+        )
+
+
+class TestCaching:
+    def test_cache_roundtrip_and_backend_independence(self, tmp_path):
+        spec = BatchSweepSpec(algorithm="align", n=9, k=4, steps=60, seeds=(1, 2))
+        cache = str(tmp_path / "cache")
+        first = execute(spec, cache=cache, backend="stdlib")
+        assert not first.cached
+        # A hit under a different backend serves the same bytes: the
+        # backend is execution context and never enters the key.
+        second = execute(spec, cache=cache)
+        assert second.cached
+        assert second.payload == first.payload
+        assert second.run_id == first.run_id
+        refreshed = execute(spec, cache=cache, refresh=True, backend="stdlib")
+        assert not refreshed.cached
+        assert refreshed.payload == first.payload

@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Generate the help-text section of ``docs/cli.md`` from the live parser.
+
+Usage::
+
+    python tools/gen_cli_docs.py              # print the section to stdout
+    python tools/gen_cli_docs.py --write      # rewrite docs/cli.md in place
+
+The section between the ``BEGIN/END GENERATED`` markers in
+``docs/cli.md`` is the verbatim ``--help`` output of the top-level
+parser and of every subcommand, rendered at a fixed 80-column width so
+the text is identical on every machine.  ``tests/docs/test_cli_docs.py``
+regenerates the section and diffs it against the committed file, so the
+documentation cannot drift from the implementation.
+
+Help output is normalised for cross-version stability: Python 3.9 calls
+the options section "optional arguments"; newer interpreters say
+"options".  The committed text uses the modern spelling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"),
+)
+
+BEGIN_MARKER = "<!-- BEGIN GENERATED HELP (tools/gen_cli_docs.py) -->"
+END_MARKER = "<!-- END GENERATED HELP -->"
+DOC_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "docs", "cli.md"
+)
+
+#: Render width; fixed so the committed text is machine-independent.
+WIDTH = 80
+
+
+def _help_text(parser: argparse.ArgumentParser) -> str:
+    old_columns = os.environ.get("COLUMNS")
+    os.environ["COLUMNS"] = str(WIDTH)
+    try:
+        text = parser.format_help()
+    finally:
+        if old_columns is None:
+            del os.environ["COLUMNS"]
+        else:
+            os.environ["COLUMNS"] = old_columns
+    # Python 3.9 spelling -> modern spelling.
+    text = text.replace("optional arguments:", "options:")
+    return text.rstrip() + "\n"
+
+
+def generated_section() -> str:
+    """The full marker-delimited block, markers included."""
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    parser.prog = "repro"
+    subactions = [
+        action
+        for action in parser._actions  # noqa: SLF001 - argparse has no public API
+        if isinstance(action, argparse._SubParsersAction)
+    ]
+    lines = [BEGIN_MARKER, ""]
+    lines += ["## `repro --help`", "", "```text", _help_text(parser).rstrip(), "```", ""]
+    for action in subactions:
+        for name, subparser in action.choices.items():
+            subparser.prog = f"repro {name}"
+            lines += [
+                f"## `repro {name}`",
+                "",
+                "```text",
+                _help_text(subparser).rstrip(),
+                "```",
+                "",
+            ]
+    lines.append(END_MARKER)
+    return "\n".join(lines) + "\n"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--write", action="store_true", help="rewrite docs/cli.md in place"
+    )
+    args = parser.parse_args(argv)
+    section = generated_section()
+    if not args.write:
+        sys.stdout.write(section)
+        return 0
+    with open(DOC_PATH, "r", encoding="utf-8") as handle:
+        document = handle.read()
+    begin = document.index(BEGIN_MARKER)
+    end = document.index(END_MARKER) + len(END_MARKER) + 1
+    with open(DOC_PATH, "w", encoding="utf-8") as handle:
+        handle.write(document[:begin] + section + document[end:])
+    print(f"rewrote the generated section of {DOC_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
