@@ -66,16 +66,28 @@ def run_experiment_campaign(
     progress: Optional[ProgressCallback] = None,
     cache=None,
     batch_worker: Optional[BatchWorker] = None,
+    timeout: Optional[float] = None,
+    retry=None,
+    fault_plan=None,
 ) -> CampaignReport:
     """Build the campaign for an experiment suite and execute it.
 
     ``store`` may be a :class:`ResultStore` or a root directory path; in
     either case the run becomes resumable and writes ``summary.json``.
     ``cache`` is an optional unit de-duplication cache (see
-    :func:`~repro.campaign.executor.run_campaign`).
+    :func:`~repro.campaign.executor.run_campaign`).  ``timeout`` is a
+    per-unit deadline in seconds, ``retry`` a
+    :class:`~repro.faults.RetryPolicy`, and ``fault_plan`` a
+    :class:`~repro.faults.FaultPlan` (chaos-testing context); all three
+    are forwarded to :func:`~repro.campaign.executor.run_campaign`, and
+    a path-given store inherits the fault plan's write-path injection
+    sites.
     """
     campaign = build_campaign(experiment, variant)
-    result_store = ResultStore(store) if isinstance(store, str) else store
+    if isinstance(store, str):
+        result_store: Optional[ResultStore] = ResultStore(store, fault_plan=fault_plan)
+    else:
+        result_store = store
     return run_campaign(
         campaign,
         worker,
@@ -84,4 +96,7 @@ def run_experiment_campaign(
         progress=progress,
         cache=cache,
         batch_worker=batch_worker,
+        timeout=timeout,
+        retry=retry,
+        fault_plan=fault_plan,
     )

@@ -16,6 +16,22 @@ guaranteed:
 * **Resumability** — with a result store attached, units whose latest
   stored record is a success are not re-executed.
 
+On top of those, three resilience controls (all execution context —
+none of them changes what a successful record contains):
+
+* **Per-unit deadlines** (``timeout``) — a watchdog over the process
+  pool kills a unit that overruns its deadline (the worker process is
+  *terminated*, not merely abandoned), retries it once in isolation
+  under a fresh deadline, and records ``"timeout"`` only if it overruns
+  again — mirroring how crashes are isolated today.
+* **Transient retry** (``retry``) — a :class:`~repro.faults.RetryPolicy`
+  re-attempts transiently failed units inside the worker process with
+  deterministic backoff before an ``"error"`` record is emitted.
+* **Fault injection** (``fault_plan``) — a
+  :class:`~repro.faults.FaultPlan` wraps the worker with per-unit
+  injection sites, which is how the chaos suite certifies the two
+  mechanisms above.
+
 Workers must be module-level callables (picklable by reference) taking
 the unit dictionary and returning a JSON-serialisable payload.
 """
@@ -26,12 +42,16 @@ import multiprocessing
 import threading
 import traceback
 import warnings
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, CancelledError, ProcessPoolExecutor, wait
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from time import perf_counter
+from time import perf_counter, sleep
 from typing import Callable, Dict, List, Optional, Sequence
 
+from ..faults.deadline import terminate_pool
+from ..faults.plan import FaultyWorker
 from .spec import Campaign, UnitSpec
 from .store import ResultStore
 
@@ -101,31 +121,50 @@ class CampaignReport:
         return ResultStore.summary_bytes(self.campaign, self.records)
 
 
-def execute_unit(worker: Worker, unit: Dict[str, object]) -> Dict[str, object]:
-    """Run one unit, converting worker exceptions into an error record."""
+def execute_unit(
+    worker: Worker, unit: Dict[str, object], retry=None
+) -> Dict[str, object]:
+    """Run one unit, converting worker exceptions into an error record.
+
+    With a ``retry`` policy (duck-typed
+    :class:`~repro.faults.RetryPolicy`), transient failures are
+    re-attempted in place — backoff and all — before an ``"error"``
+    record is emitted; only the final attempt's outcome is recorded, so
+    a recovered unit is indistinguishable (in the deterministic summary
+    fields) from one that succeeded first try.
+    """
     started = perf_counter()
     record = dict(unit)
-    try:
-        payload = worker(unit)
-        record.update(status="ok", payload=payload, error=None)
-    except Exception as exc:  # noqa: BLE001 - error reporting is the point
-        record.update(
-            status="error",
-            payload=None,
-            error={
+    attempt = 1
+    while True:
+        try:
+            payload = worker(unit)
+            record.update(status="ok", payload=payload, error=None)
+        except Exception as exc:  # noqa: BLE001 - error reporting is the point
+            error = {
                 "type": type(exc).__name__,
                 "message": str(exc),
                 "traceback": traceback.format_exc(),
-            },
-        )
-    record["duration_s"] = perf_counter() - started
-    return record
+                "retryable": bool(getattr(exc, "retryable", False)),
+            }
+            if (
+                retry is not None
+                and attempt < retry.max_attempts
+                and retry.is_transient(error)
+            ):
+                sleep(retry.delay_s(str(unit.get("unit_id", "?")), attempt))
+                attempt += 1
+                continue
+            record.update(status="error", payload=None, error=error)
+        record["duration_s"] = perf_counter() - started
+        return record
 
 
 def execute_batch(
     worker: Worker,
     batch_worker: Optional[BatchWorker],
     units: Sequence[Dict[str, object]],
+    retry=None,
 ) -> List[Dict[str, object]]:
     """Run a batch of units, claimed whole by ``batch_worker`` when possible.
 
@@ -138,7 +177,7 @@ def execute_batch(
     traceback) stay byte-identical to a run without batching.
     """
     if batch_worker is None:
-        return [execute_unit(worker, unit) for unit in units]
+        return [execute_unit(worker, unit, retry) for unit in units]
     started = perf_counter()
     try:
         payloads = batch_worker(list(units))
@@ -150,7 +189,7 @@ def execute_batch(
         # Outside the except block, so the per-unit workers re-raise
         # with a clean exception context — their recorded tracebacks are
         # byte-identical to a run that never attempted the batch.
-        return [execute_unit(worker, unit) for unit in units]
+        return [execute_unit(worker, unit, retry) for unit in units]
     share = (perf_counter() - started) / len(units)
     records = []
     for unit, payload in zip(units, payloads):
@@ -164,9 +203,10 @@ def _execute_chunk(
     worker: Worker,
     units: Sequence[Dict[str, object]],
     batch_worker: Optional[BatchWorker] = None,
+    retry=None,
 ) -> List[Dict[str, object]]:
     """Run a chunk of units inside one worker process (reduces IPC)."""
-    return execute_batch(worker, batch_worker, units)
+    return execute_batch(worker, batch_worker, units, retry)
 
 
 def _crashed_record(unit: Dict[str, object], message: str) -> Dict[str, object]:
@@ -174,8 +214,29 @@ def _crashed_record(unit: Dict[str, object], message: str) -> Dict[str, object]:
     record.update(
         status="crashed",
         payload=None,
-        error={"type": "BrokenProcessPool", "message": message, "traceback": None},
+        error={
+            "type": "BrokenProcessPool",
+            "message": message,
+            "traceback": None,
+            "retryable": True,
+        },
         duration_s=0.0,
+    )
+    return record
+
+
+def _timeout_record(unit: Dict[str, object], timeout: float) -> Dict[str, object]:
+    record = dict(unit)
+    record.update(
+        status="timeout",
+        payload=None,
+        error={
+            "type": "DeadlineExceeded",
+            "message": f"unit exceeded its {timeout:g}s deadline and was killed",
+            "traceback": None,
+            "retryable": True,
+        },
+        duration_s=timeout,
     )
     return record
 
@@ -249,6 +310,7 @@ def _run_parallel(
     chunk_size: Optional[int],
     collector: _Collector,
     batch_worker: Optional[BatchWorker] = None,
+    retry=None,
 ) -> None:
     if chunk_size is None:
         # Aim for ~4 chunks per worker to balance scheduling slack
@@ -268,7 +330,7 @@ def _run_parallel(
     try:
         futures = {
             pool.submit(
-                _execute_chunk, worker, [u.as_dict() for u in chunk], batch_worker
+                _execute_chunk, worker, [u.as_dict() for u in chunk], batch_worker, retry
             ): chunk
             for chunk in chunks
         }
@@ -304,9 +366,9 @@ def _run_parallel(
                     pool.shutdown(wait=False)
                     pool = _make_pool(jobs)
                     for unit in chunk:
-                        retry = pool.submit(execute_unit, worker, unit.as_dict())
+                        isolated = pool.submit(execute_unit, worker, unit.as_dict(), retry)
                         try:
-                            collector.add(retry.result())
+                            collector.add(isolated.result())
                         except BrokenProcessPool:
                             collector.add(
                                 _crashed_record(
@@ -323,10 +385,162 @@ def _run_parallel(
                                 worker,
                                 [u.as_dict() for u in chunk_],
                                 batch_worker,
+                                retry,
                             )
                         ] = chunk_
     finally:
         pool.shutdown(wait=True)
+
+
+#: Watchdog poll interval: the granularity at which overdue units are
+#: detected (a hung unit is reaped within ``timeout + _WATCHDOG_POLL_S``
+#: plus kill latency).
+_WATCHDOG_POLL_S = 0.05
+
+
+def _retry_in_isolation_with_deadline(
+    worker: Worker,
+    unit: UnitSpec,
+    timeout: float,
+    retry,
+    collector: _Collector,
+    *,
+    first_attempt_timed_out: bool,
+) -> None:
+    """One isolated retry of a killed/crashed unit under a fresh deadline.
+
+    The unit gets a dedicated single-worker pool so a second overrun or
+    crash poisons nothing else.  If it overruns again it is recorded as
+    ``"timeout"``; if the worker dies again, ``"crashed"`` — exactly the
+    crash-isolation contract, extended with a clock.
+    """
+    pool = make_pool(1)
+    try:
+        future = pool.submit(execute_unit, worker, unit.as_dict(), retry)
+        try:
+            collector.add(future.result(timeout=timeout))
+        except FuturesTimeoutError:
+            terminate_pool(pool)
+            collector.add(_timeout_record(unit.as_dict(), timeout))
+        except BrokenProcessPool:
+            if first_attempt_timed_out:
+                # Terminated mid-kill rather than by its own doing —
+                # still a deadline casualty, not a crash.
+                collector.add(_timeout_record(unit.as_dict(), timeout))
+            else:
+                collector.add(
+                    _crashed_record(
+                        unit.as_dict(),
+                        "worker process died while executing this unit",
+                    )
+                )
+    finally:
+        pool.shutdown(wait=False)
+
+
+def _run_parallel_deadline(
+    worker: Worker,
+    pending: List[UnitSpec],
+    jobs: int,
+    collector: _Collector,
+    timeout: float,
+    retry=None,
+    store: Optional[ResultStore] = None,
+    campaign_name: Optional[str] = None,
+) -> None:
+    """Pool execution with a per-unit deadline watchdog.
+
+    Units are submitted one per task, windowed to the pool width, so
+    every in-flight future corresponds to a unit that is genuinely
+    *running* — its submission time is its start time, and the watchdog
+    can attribute an overrun to the right unit.  On an overrun the whole
+    pool is terminated (there is no way to kill a single busy worker
+    through :class:`~concurrent.futures.ProcessPoolExecutor`), the
+    overdue unit's interim ``"timeout"`` record is appended to the store
+    (shards keep the timeline; the aggregate keeps only final records),
+    innocent in-flight units are requeued, and the overdue unit is
+    retried once in isolation under a fresh deadline.
+    """
+    queue = deque(
+        sorted(
+            pending,
+            key=lambda u: u.samples * u.steps_factor * u.n * max(u.k, 1),
+            reverse=True,
+        )
+    )
+    pool = make_pool(jobs)
+    inflight: Dict[object, tuple] = {}
+    try:
+        while queue or inflight:
+            pool_broken = False
+            while queue and len(inflight) < jobs:
+                unit = queue.popleft()
+                try:
+                    future = pool.submit(
+                        _execute_chunk, worker, [unit.as_dict()], None, retry
+                    )
+                except BrokenProcessPool:
+                    # A crash in an already-submitted unit broke the pool
+                    # mid-refill.  Requeue this (never-started) unit and
+                    # let the harvest below sort casualties from
+                    # bystanders before the pool is rebuilt.
+                    queue.appendleft(unit)
+                    pool_broken = True
+                    break
+                inflight[future] = (unit, perf_counter())
+            done, _ = wait(
+                list(inflight), timeout=_WATCHDOG_POLL_S, return_when=FIRST_COMPLETED
+            )
+            crashed: List[UnitSpec] = []
+            for future in done:
+                unit, _started = inflight.pop(future)
+                try:
+                    for record in future.result():
+                        collector.add(record)
+                except BrokenProcessPool:
+                    crashed.append(unit)
+            now = perf_counter()
+            timed_out: List[UnitSpec] = []
+            overdue = any(now - started > timeout for _, started in inflight.values())
+            if overdue:
+                # Terminate every worker (a busy pool worker cannot be
+                # interrupted individually), sort the casualties from
+                # the innocent bystanders, and rebuild.
+                terminate_pool(pool)
+            if overdue or crashed or pool_broken:
+                for future, (unit, started) in inflight.items():
+                    if overdue and now - started > timeout:
+                        timed_out.append(unit)
+                    elif future.done():
+                        try:
+                            for record in future.result():
+                                collector.add(record)
+                        except (BrokenProcessPool, CancelledError):
+                            queue.appendleft(unit)
+                    else:
+                        # Stranded on a dead pool: its result (if any)
+                        # is discarded, the unit simply runs again.
+                        queue.appendleft(unit)
+                inflight.clear()
+                pool.shutdown(wait=False)
+                pool = make_pool(jobs)
+            for unit in timed_out:
+                if store is not None and campaign_name is not None:
+                    # Interim record: the shard timeline shows the kill;
+                    # the isolation retry's final record supersedes it
+                    # (both in the aggregate and on resume).
+                    store.append(campaign_name, _timeout_record(unit.as_dict(), timeout))
+                _retry_in_isolation_with_deadline(
+                    worker, unit, timeout, retry, collector,
+                    first_attempt_timed_out=True,
+                )
+            for unit in crashed:
+                _retry_in_isolation_with_deadline(
+                    worker, unit, timeout, retry, collector,
+                    first_attempt_timed_out=False,
+                )
+    finally:
+        pool.shutdown(wait=False)
 
 
 def run_campaign(
@@ -339,6 +553,9 @@ def run_campaign(
     chunk_size: Optional[int] = None,
     cache=None,
     batch_worker: Optional[BatchWorker] = None,
+    timeout: Optional[float] = None,
+    retry=None,
+    fault_plan=None,
 ) -> CampaignReport:
     """Execute every unit of ``campaign`` through ``worker``.
 
@@ -362,6 +579,20 @@ def run_campaign(
             without it; any batch failure falls back to per-unit
             execution (see :func:`execute_batch`).  Unit de-duplication
             still keys on ``worker``'s identity.
+        timeout: per-unit deadline in seconds.  Forces pool execution
+            (even at ``jobs=1``, so the watchdog can *kill* an overrun)
+            and disables batch claiming (a whole-batch kill could not be
+            attributed to one unit).  An overrun unit is terminated,
+            retried once in isolation, and recorded as ``"timeout"``
+            only if it overruns again.
+        retry: optional :class:`~repro.faults.RetryPolicy` (duck-typed):
+            transiently failing units are re-attempted in the worker
+            with deterministic backoff before an error is recorded.
+        fault_plan: optional :class:`~repro.faults.FaultPlan`: wraps the
+            worker with per-unit injection sites (chaos testing).  Pure
+            execution context — unit cache keys stay those of the
+            unwrapped worker, and batch claiming is disabled so every
+            unit passes its injection site.
 
     Returns:
         The report with records sorted by grid index.  When a store is
@@ -369,8 +600,15 @@ def run_campaign(
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
+    if timeout is not None and timeout <= 0:
+        raise ValueError("timeout must be > 0 (or None to disable)")
     report = CampaignReport(campaign=campaign)
     worker_name = _worker_name(worker)
+    if fault_plan is not None:
+        worker = FaultyWorker(worker, fault_plan)
+        batch_worker = None
+    if timeout is not None:
+        batch_worker = None
     if cache is not None and ("<lambda>" in worker_name or "<locals>" in worker_name):
         # Dynamically defined workers share a qualname (every lambda at
         # one scope is "<lambda>"), so the cache could serve one
@@ -423,17 +661,24 @@ def run_campaign(
         report, store, progress, total=campaign.num_units,
         cache=cache, worker_name=worker_name,
     )
-    if jobs == 1 or len(pending) <= 1:
+    if timeout is not None and pending:
+        # Deadlines require killability, so even jobs=1 runs through a
+        # (single-worker) pool the watchdog can terminate.
+        _run_parallel_deadline(
+            worker, pending, jobs, collector, timeout, retry,
+            store=store, campaign_name=campaign.name,
+        )
+    elif jobs == 1 or len(pending) <= 1:
         if batch_worker is not None and len(pending) > 1:
             for record in execute_batch(
-                worker, batch_worker, [unit.as_dict() for unit in pending]
+                worker, batch_worker, [unit.as_dict() for unit in pending], retry
             ):
                 collector.add(record)
         else:
             for unit in pending:
-                collector.add(execute_unit(worker, unit.as_dict()))
+                collector.add(execute_unit(worker, unit.as_dict(), retry))
     else:
-        _run_parallel(worker, pending, jobs, chunk_size, collector, batch_worker)
+        _run_parallel(worker, pending, jobs, chunk_size, collector, batch_worker, retry)
 
     report.records.sort(key=lambda record: record.get("index", 0))
     if store is not None:

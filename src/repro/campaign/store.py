@@ -19,9 +19,15 @@ record carries the full unit spec plus::
 
 ``status == "error"`` means the worker raised (the traceback is kept in
 ``error``); ``"crashed"`` means the worker *process* died (signal,
-``os._exit``) and the unit could not be completed even in isolation.
-A torn trailing line (interrupted write) is ignored on load, which is
-what makes interrupt-and-resume safe.  When a unit appears in several
+``os._exit``) and the unit could not be completed even in isolation;
+``"timeout"`` means the unit overran its deadline and was killed, even
+in isolation.  A torn *trailing* line (interrupted write) is silently
+ignored on load, which is what makes interrupt-and-resume safe.  A
+corrupt record anywhere *else* (bit rot, concurrent writers, editor
+accidents) is **quarantined**: the bad line is copied to
+``quarantine.log`` next to the shards, a warning names it, and loading
+continues — so a resumed run simply re-executes the affected unit
+instead of dying on the whole campaign.  When a unit appears in several
 shards (e.g. an error that succeeded after a resume) the *last* record
 wins.
 
@@ -36,8 +42,10 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Dict, List
+import warnings
+from typing import Dict, List, Optional
 
+from ..faults.errors import KillPoint
 from .spec import Campaign
 
 __all__ = ["ResultStore"]
@@ -56,13 +64,20 @@ class ResultStore:
     Args:
         root: directory holding one sub-directory per campaign.
         shard_size: number of records per shard file.
+        fault_plan: optional :class:`~repro.faults.FaultPlan` arming the
+            write path's injection sites (``store.append:<campaign>:
+            <unit_id>``, supporting ``torn_write``/``slow_io``/``kill``)
+            — chaos-testing context only, never part of normal use.
     """
 
-    def __init__(self, root: str, shard_size: int = 64) -> None:
+    def __init__(
+        self, root: str, shard_size: int = 64, fault_plan=None
+    ) -> None:
         if shard_size < 1:
             raise ValueError("shard_size must be >= 1")
         self.root = root
         self.shard_size = shard_size
+        self.fault_plan = fault_plan
         self._counts: Dict[str, int] = {}
 
     # ------------------------------------------------------------------ #
@@ -93,21 +108,70 @@ class ResultStore:
     # ------------------------------------------------------------------ #
     # reading
     # ------------------------------------------------------------------ #
+    def quarantine_path(self, campaign_name: str) -> str:
+        """Path of the campaign's corrupt-record quarantine file."""
+        return os.path.join(self.campaign_dir(campaign_name), "quarantine.log")
+
+    def _quarantine(self, campaign_name: str, origin: str, line: str) -> None:
+        """Copy one corrupt record line to the quarantine file, once.
+
+        The shard itself is append-only and is never rewritten, so the
+        same bad line resurfaces on every load; the quarantine file is
+        de-duplicated by content to stay readable.
+        """
+        path = self.quarantine_path(campaign_name)
+        entry = f"{origin}\t{line}\n"
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                if entry in handle.read():
+                    return
+        except OSError:
+            pass
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(entry)
+
     def iter_records(self, campaign_name: str) -> List[Dict[str, object]]:
-        """All raw records across shards, tolerant of a torn trailing line."""
+        """All raw records across shards, tolerant of corrupt lines.
+
+        A torn *trailing* line (no newline at end-of-file: an
+        interrupted final write) is dropped silently — that is the
+        normal crash-and-resume signature.  Any other undecodable or
+        non-object line is *quarantined* with a warning (see
+        :meth:`quarantine_path`) and skipped, so one rotten byte cannot
+        take the campaign's whole history down; the affected unit simply
+        has no record and is re-executed on resume.
+        """
         records: List[Dict[str, object]] = []
         for path in self._shard_paths(campaign_name):
             with open(path, "r", encoding="utf-8") as handle:
-                for line in handle:
-                    line = line.strip()
-                    if not line:
-                        continue
-                    try:
-                        records.append(json.loads(line))
-                    except json.JSONDecodeError:
-                        # Interrupted mid-write: drop the torn line and
-                        # let a resumed run recompute that unit.
-                        continue
+                raw_lines = handle.readlines()
+            for lineno, raw in enumerate(raw_lines, start=1):
+                line = raw.strip()
+                if not line:
+                    continue
+                record: Optional[Dict[str, object]] = None
+                try:
+                    loaded = json.loads(line)
+                    if isinstance(loaded, dict):
+                        record = loaded
+                except json.JSONDecodeError:
+                    pass
+                if record is not None:
+                    records.append(record)
+                    continue
+                if lineno == len(raw_lines) and not raw.endswith("\n"):
+                    # Torn trailing line: interrupted mid-write; a
+                    # resumed run recomputes that unit.
+                    continue
+                origin = f"{os.path.basename(path)}:{lineno}"
+                self._quarantine(campaign_name, origin, line)
+                warnings.warn(
+                    f"result store: quarantined corrupt record at {origin} of "
+                    f"campaign {campaign_name!r}; the affected unit will be "
+                    "re-run on resume",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
         return records
 
     def latest_records(self, campaign_name: str) -> Dict[str, Dict[str, object]]:
@@ -131,15 +195,35 @@ class ResultStore:
     # writing
     # ------------------------------------------------------------------ #
     def append(self, campaign_name: str, record: Dict[str, object]) -> None:
-        """Append one record to the campaign's current shard (flushes)."""
+        """Append one record to the campaign's current shard (flushes).
+
+        With a fault plan attached, the injection site
+        ``store.append:<campaign>:<unit_id>`` may fire here: a
+        ``torn_write`` durably writes *half* the line and then raises
+        :class:`~repro.faults.KillPoint` — exactly the on-disk state a
+        power cut mid-append leaves — which :meth:`iter_records`' torn-
+        trailing-line tolerance must recover from.
+        """
         directory = self.campaign_dir(campaign_name)
         os.makedirs(directory, exist_ok=True)
         if campaign_name not in self._counts:
             self._counts[campaign_name] = len(self.iter_records(campaign_name))
         count = self._counts[campaign_name]
         path = self._shard_path(campaign_name, count // self.shard_size)
+        line = json.dumps(record, sort_keys=True) + "\n"
+        action = None
+        if self.fault_plan is not None:
+            site = f"store.append:{campaign_name}:{record.get('unit_id')}"
+            action = self.fault_plan.fire(
+                site, supported=("torn_write", "slow_io", "kill")
+            )
         with open(path, "a", encoding="utf-8") as handle:
-            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            if action == "torn_write":
+                handle.write(line[: max(1, len(line) // 2)])
+                handle.flush()
+                os.fsync(handle.fileno())
+                raise KillPoint(f"store.append:{campaign_name}:{record.get('unit_id')}")
+            handle.write(line)
             handle.flush()
             os.fsync(handle.fileno())
         self._counts[campaign_name] = count + 1

@@ -33,6 +33,7 @@ from typing import List, Optional, Tuple
 from .analysis.enumeration import census
 from .analysis.feasibility import feasibility_table
 from .experiments import EXPERIMENTS
+from .faults.errors import DeadlineExceeded
 from .experiments.report import render_table
 from .modelcheck import TASKS as VERIFY_TASKS
 from .modelcheck.grid import DEFAULT_MAX_STATES
@@ -127,6 +128,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend", choices=["auto", "numpy", "stdlib"], default="auto",
         help="occupancy-matrix backend (results are byte-identical; default: auto)",
     )
+    _add_timeout_argument(batch, "sweep (the whole batch runs under one deadline)")
     _add_cache_arguments(batch)
 
     verify = sub.add_parser(
@@ -185,6 +187,14 @@ def build_parser() -> argparse.ArgumentParser:
             "(default: 1; mutually exclusive with --jobs > 1)"
         ),
     )
+    serve.add_argument(
+        "--timeout",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="per-run deadline: a hung run is killed and reported as a "
+        "retryable error instead of occupying a worker forever",
+    )
     serve.add_argument("--verbose", action="store_true", help="log every request to stderr")
     # No --refresh here: the service decides per-request whether to
     # execute, and a server-wide refresh flag would be misleading.
@@ -228,6 +238,27 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _positive_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"must be a number, got {text!r}") from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
+    return value
+
+
+def _add_timeout_argument(parser: argparse.ArgumentParser, what: str) -> None:
+    parser.add_argument(
+        "--timeout",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help=f"deadline per {what}: an overrunning worker is killed "
+        "(exit code 124 when the whole command times out)",
+    )
+
+
 def _add_campaign_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs",
@@ -247,6 +278,7 @@ def _add_campaign_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="print per-unit campaign progress to stderr",
     )
+    _add_timeout_argument(parser, "campaign unit")
 
 
 def _add_cache_arguments(
@@ -314,7 +346,7 @@ def _progress_printer(done: int, total: int, record) -> None:
 
 def _run_experiment(
     name: str, full: bool, out, jobs: int = 1, store=None, progress: bool = False,
-    cache=None, refresh: bool = False,
+    cache=None, refresh: bool = False, timeout=None,
 ) -> int:
     spec = ExperimentSpec(name=name, variant="full" if full else "quick")
     result = execute(
@@ -324,19 +356,22 @@ def _run_experiment(
         progress=_progress_printer if progress else None,
         cache=cache,
         refresh=refresh,
+        timeout=timeout,
     )
     print(result.payload["rendered"], file=out)
     return 0 if result.payload["passed"] else 1
 
 
 def _run_all(
-    out, jobs: int = 1, store=None, progress: bool = False, cache=None, refresh: bool = False
+    out, jobs: int = 1, store=None, progress: bool = False, cache=None,
+    refresh: bool = False, timeout=None,
 ) -> int:
     status = 0
     for name in sorted(EXPERIMENTS):
         if _run_experiment(
             name, False, out,
             jobs=jobs, store=store, progress=progress, cache=cache, refresh=refresh,
+            timeout=timeout,
         ):
             status = 1
         print("", file=out)
@@ -419,6 +454,7 @@ def _run_batch(parser, args, out, cache=None) -> int:
         cache=cache,
         refresh=getattr(args, "refresh", False),
         backend=None if args.backend == "auto" else args.backend,
+        timeout=args.timeout,
     )
     payload = result.payload
     rows = []
@@ -470,6 +506,7 @@ def _run_verify(parser, args, out, cache=None) -> int:
         progress=_progress_printer if args.progress else None,
         cache=cache,
         refresh=getattr(args, "refresh", False),
+        timeout=args.timeout,
     )
     payload = result.payload
     header = (
@@ -490,11 +527,29 @@ def _run_verify(parser, args, out, cache=None) -> int:
     return 0 if payload["passed"] else 1
 
 
+#: Exit code of a command killed by its ``--timeout`` deadline (the
+#: same convention as coreutils ``timeout(1)``).
+TIMEOUT_EXIT_CODE = 124
+
+
 def main(argv: Optional[List[str]] = None, out=None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    A run killed by its ``--timeout`` deadline exits with
+    :data:`TIMEOUT_EXIT_CODE` (124, the ``timeout(1)`` convention) after
+    printing the deadline error to stderr.
+    """
     out = out if out is not None else sys.stdout
     parser = build_parser()
     args = parser.parse_args(argv)
+    try:
+        return _dispatch(parser, args, out)
+    except DeadlineExceeded as exc:
+        print(f"{parser.prog}: {exc}", file=sys.stderr)
+        return TIMEOUT_EXIT_CODE
+
+
+def _dispatch(parser: argparse.ArgumentParser, args, out) -> int:
     if args.command == "census":
         return _run_census(args.n, args.k, out)
     if args.command == "feasibility":
@@ -505,12 +560,12 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _run_experiment(
             args.name, args.full, out,
             jobs=args.jobs, store=args.store, progress=args.progress, cache=cache,
-            refresh=args.refresh,
+            refresh=args.refresh, timeout=args.timeout,
         )
     if args.command == "all":
         return _run_all(
             out, jobs=args.jobs, store=args.store, progress=args.progress, cache=cache,
-            refresh=args.refresh,
+            refresh=args.refresh, timeout=args.timeout,
         )
     if args.command == "demo":
         return _run_demo(parser, args, out, cache=cache)
@@ -530,6 +585,7 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             workers=args.workers,
             jobs=args.jobs,
             shards=args.shards,
+            run_timeout=args.timeout,
             verbose=args.verbose,
         )
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover

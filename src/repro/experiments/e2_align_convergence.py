@@ -75,14 +75,27 @@ def run_unit(unit):
     }
 
 
-def run(variant: str = "quick", jobs: int = 1, store=None, progress=None, cache=None) -> ExperimentResult:
+def run(
+    variant: str = "quick",
+    jobs: int = 1,
+    store=None,
+    progress=None,
+    cache=None,
+    timeout=None,
+    retry=None,
+    fault_plan=None,
+) -> ExperimentResult:
     """Run E2 and return its result table."""
     result = ExperimentResult(
         experiment="E2",
         title="Align convergence to C* (Theorem 1)",
         header=("k", "n", "starts", "reached C*", "invariant ok", "moves min", "moves mean", "moves max"),
     )
-    report = run_experiment_campaign("e2", variant, run_unit, jobs=jobs, store=store, progress=progress, cache=cache)
+    report = run_experiment_campaign(
+        "e2", variant, run_unit,
+        jobs=jobs, store=store, progress=progress, cache=cache,
+        timeout=timeout, retry=retry, fault_plan=fault_plan,
+    )
     result.apply_campaign_report(report)
     result.add_note("expected shape: 100% of starts reach C*; moves grow like O(n * k)")
     return result

@@ -80,7 +80,16 @@ def run_unit(unit):
     }
 
 
-def run(variant: str = "quick", jobs: int = 1, store=None, progress=None, cache=None) -> ExperimentResult:
+def run(
+    variant: str = "quick",
+    jobs: int = 1,
+    store=None,
+    progress=None,
+    cache=None,
+    timeout=None,
+    retry=None,
+    fault_plan=None,
+) -> ExperimentResult:
     """Run E3 and return its result table."""
     result = ExperimentResult(
         experiment="E3",
@@ -96,7 +105,11 @@ def run(variant: str = "quick", jobs: int = 1, store=None, progress=None, cache=
             "min edge clearings",
         ),
     )
-    report = run_experiment_campaign("e3", variant, run_unit, jobs=jobs, store=store, progress=progress, cache=cache)
+    report = run_experiment_campaign(
+        "e3", variant, run_unit,
+        jobs=jobs, store=store, progress=progress, cache=cache,
+        timeout=timeout, retry=retry, fault_plan=fault_plan,
+    )
     result.apply_campaign_report(report)
     result.add_note(
         "expected shape: every start satisfies both tasks; the cost of the first full clearing "

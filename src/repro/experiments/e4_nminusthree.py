@@ -61,7 +61,16 @@ def run_unit(unit):
     }
 
 
-def run(variant: str = "quick", jobs: int = 1, store=None, progress=None, cache=None) -> ExperimentResult:
+def run(
+    variant: str = "quick",
+    jobs: int = 1,
+    store=None,
+    progress=None,
+    cache=None,
+    timeout=None,
+    retry=None,
+    fault_plan=None,
+) -> ExperimentResult:
     """Run E4 and return its result table."""
     result = ExperimentResult(
         experiment="E4",
@@ -76,7 +85,11 @@ def run(variant: str = "quick", jobs: int = 1, store=None, progress=None, cache=
             "all-clear events",
         ),
     )
-    report = run_experiment_campaign("e4", variant, run_unit, jobs=jobs, store=store, progress=progress, cache=cache)
+    report = run_experiment_campaign(
+        "e4", variant, run_unit,
+        jobs=jobs, store=store, progress=progress, cache=cache,
+        timeout=timeout, retry=retry, fault_plan=fault_plan,
+    )
     result.apply_campaign_report(report)
     result.add_note("expected shape: all starts pass; the dedicated algorithm covers k = n - 3, which Ring Clearing does not")
     return result

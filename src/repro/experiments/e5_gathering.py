@@ -79,7 +79,16 @@ def run_unit(unit):
     }
 
 
-def run(variant: str = "quick", jobs: int = 1, store=None, progress=None, cache=None) -> ExperimentResult:
+def run(
+    variant: str = "quick",
+    jobs: int = 1,
+    store=None,
+    progress=None,
+    cache=None,
+    timeout=None,
+    retry=None,
+    fault_plan=None,
+) -> ExperimentResult:
     """Run E5 and return its result table."""
     result = ExperimentResult(
         experiment="E5",
@@ -95,7 +104,11 @@ def run(variant: str = "quick", jobs: int = 1, store=None, progress=None, cache=
             "moves max",
         ),
     )
-    report = run_experiment_campaign("e5", variant, run_unit, jobs=jobs, store=store, progress=progress, cache=cache)
+    report = run_experiment_campaign(
+        "e5", variant, run_unit,
+        jobs=jobs, store=store, progress=progress, cache=cache,
+        timeout=timeout, retry=retry, fault_plan=fault_plan,
+    )
     result.apply_campaign_report(report)
     result.add_note(
         "expected shape: the paper's algorithm gathers from every rigid start; "

@@ -64,7 +64,16 @@ def run_unit(unit):
     }
 
 
-def run(variant: str = "quick", jobs: int = 1, store=None, progress=None, cache=None) -> ExperimentResult:
+def run(
+    variant: str = "quick",
+    jobs: int = 1,
+    store=None,
+    progress=None,
+    cache=None,
+    timeout=None,
+    retry=None,
+    fault_plan=None,
+) -> ExperimentResult:
     """Run E6 and return its result table."""
     result = ExperimentResult(
         experiment="E6",
@@ -73,7 +82,11 @@ def run(variant: str = "quick", jobs: int = 1, store=None, progress=None, cache=
     )
     # 1. Game-solver cross-checks on the smallest infeasible cells
     #    (the grid part, run through the campaign layer).
-    report = run_experiment_campaign("e6", variant, run_unit, jobs=jobs, store=store, progress=progress, cache=cache)
+    report = run_experiment_campaign(
+        "e6", variant, run_unit,
+        jobs=jobs, store=store, progress=progress, cache=cache,
+        timeout=timeout, retry=retry, fault_plan=fault_plan,
+    )
     result.apply_campaign_report(report)
     # 2. Simulation cross-checks on feasible cells.
     for k, n in FEASIBLE_SAMPLE:

@@ -179,7 +179,16 @@ def run_units_batched(units):
     return payloads
 
 
-def run(variant: str = "quick", jobs: int = 1, store=None, progress=None, cache=None) -> ExperimentResult:
+def run(
+    variant: str = "quick",
+    jobs: int = 1,
+    store=None,
+    progress=None,
+    cache=None,
+    timeout=None,
+    retry=None,
+    fault_plan=None,
+) -> ExperimentResult:
     """Run E7 and return its result table."""
     result = ExperimentResult(
         experiment="E7",
@@ -198,6 +207,7 @@ def run(variant: str = "quick", jobs: int = 1, store=None, progress=None, cache=
         "e7", variant, run_unit,
         jobs=jobs, store=store, progress=progress, cache=cache,
         batch_worker=run_units_batched,
+        timeout=timeout, retry=retry, fault_plan=fault_plan,
     )
     result.apply_campaign_report(report)
     result.add_note(

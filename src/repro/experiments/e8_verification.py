@@ -104,7 +104,16 @@ def run_unit(unit: Dict[str, object]) -> Dict[str, object]:
     return {"rows": rows, "passed": passed, "counterexample": witness}
 
 
-def run(variant: str = "quick", jobs: int = 1, store=None, progress=None, cache=None) -> ExperimentResult:
+def run(
+    variant: str = "quick",
+    jobs: int = 1,
+    store=None,
+    progress=None,
+    cache=None,
+    timeout=None,
+    retry=None,
+    fault_plan=None,
+) -> ExperimentResult:
     """Run E8 and return its result table."""
     result = ExperimentResult(
         experiment="E8",
@@ -114,7 +123,11 @@ def run(variant: str = "quick", jobs: int = 1, store=None, progress=None, cache=
             "states", "agrees",
         ),
     )
-    report = run_experiment_campaign("e8", variant, run_unit, jobs=jobs, store=store, progress=progress, cache=cache)
+    report = run_experiment_campaign(
+        "e8", variant, run_unit,
+        jobs=jobs, store=store, progress=progress, cache=cache,
+        timeout=timeout, retry=retry, fault_plan=fault_plan,
+    )
     result.apply_campaign_report(report)
     counterexamples = [
         record["payload"].get("counterexample")

@@ -1,0 +1,64 @@
+"""Exception vocabulary of the fault-injection and resilience layer.
+
+Three exceptions cover the three ways execution can be disturbed:
+
+* :class:`TransientFaultError` — a *recoverable* failure (injected or
+  real); carries ``retryable = True`` so the retry machinery recognises
+  it without string matching.
+* :class:`KillPoint` — a *simulated process death* at a named point in
+  a write path.  It derives from :class:`BaseException` on purpose: a
+  real ``kill -9`` is not caught by ``except Exception`` error handling
+  either, so the simulation must tunnel through the same code the way
+  the real event would.
+* :class:`DeadlineExceeded` — a run or unit overran its deadline and
+  was reaped by a watchdog.
+"""
+
+from __future__ import annotations
+
+__all__ = ["DeadlineExceeded", "KillPoint", "TransientFaultError"]
+
+
+class TransientFaultError(Exception):
+    """A recoverable failure; retry machinery treats it as transient.
+
+    The class attribute ``retryable`` is the classification contract:
+    any exception exposing ``retryable = True`` (this class or a
+    domain-specific one) is considered transient by
+    :meth:`repro.faults.retry.RetryPolicy.is_transient`.
+    """
+
+    #: Marks instances as transient for retry classification.
+    retryable = True
+
+
+class KillPoint(BaseException):
+    """Simulated process death at a named kill-point.
+
+    Raised by :meth:`repro.faults.plan.FaultPlan.kill_point` (and by
+    write paths that embed named kill-points, e.g.
+    :meth:`repro.runs.cache.ResultCache.put`).  Deriving from
+    :class:`BaseException` keeps it out of ``except Exception`` blocks:
+    the code under test must survive the *state left on disk*, not
+    handle the exception.
+    """
+
+    def __init__(self, site: str) -> None:
+        super().__init__(f"simulated process death at kill-point {site!r}")
+        self.site = site
+
+
+class DeadlineExceeded(Exception):
+    """A run or unit exceeded its deadline and was killed by a watchdog.
+
+    Deadline overruns are transient by classification: the same spec may
+    well finish under a longer deadline or on a less loaded machine, so
+    ``retryable`` is ``True``.
+    """
+
+    #: Deadline overruns are transient for retry classification.
+    retryable = True
+
+    def __init__(self, message: str, timeout_s: float) -> None:
+        super().__init__(message)
+        self.timeout_s = timeout_s

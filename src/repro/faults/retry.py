@@ -1,0 +1,122 @@
+"""Retry policies: bounded attempts, exponential backoff, deterministic jitter.
+
+A :class:`RetryPolicy` answers two questions the execution stack asks
+after a failure:
+
+* *Is this worth retrying?* — :meth:`RetryPolicy.is_transient`
+  classifies an error record (the ``{"type": ..., "message": ...,
+  "retryable": ...}`` dicts the campaign executor produces) as
+  transient or permanent.  The classification builds on the existing
+  ``retryable`` flag: an error that declares itself retryable is
+  transient regardless of type, and a closed set of infrastructure
+  error types is transient by default.
+* *How long to wait?* — :meth:`RetryPolicy.delay_s` grows
+  exponentially with the attempt number, capped, and jittered
+  **deterministically**: the jitter is a pure function of
+  ``(seed, key, attempt)`` via SHA-256, so a replayed execution waits
+  exactly as long as the original did.  Determinism everywhere else in
+  this repository would be wasted on a retry layer that flips coins.
+
+Policies are frozen dataclasses, hence hashable and picklable — they
+travel into pool worker processes alongside the unit they govern.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Mapping, Optional, Tuple
+
+__all__ = ["DEFAULT_TRANSIENT_TYPES", "RetryPolicy"]
+
+#: Error ``type`` names considered transient when the record does not
+#: carry an explicit ``retryable`` flag.  Worker-process deaths and
+#: deadline overruns are environmental; a ``ValueError`` from the
+#: algorithm under test is not.
+DEFAULT_TRANSIENT_TYPES = (
+    "BrokenProcessPool",
+    "ConnectionError",
+    "DeadlineExceeded",
+    "OSError",
+    "TimeoutError",
+    "TransientFaultError",
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded, deterministic retry schedule for transient failures.
+
+    Attributes:
+        max_attempts: total attempts including the first (``1`` disables
+            retrying; must be ``>= 1``).
+        base_delay_s: delay before the second attempt.
+        multiplier: exponential growth factor between attempts.
+        max_delay_s: cap on any single delay.
+        jitter: fraction of each delay that is jittered away
+            (``0`` = none, ``0.5`` = the delay varies over
+            ``[0.5d, d]``); the draw is deterministic per
+            ``(seed, key, attempt)``.
+        seed: jitter seed.
+        transient_types: error ``type`` names classified transient when
+            no explicit ``retryable`` flag is present.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.05
+    multiplier: float = 2.0
+    max_delay_s: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+    transient_types: Tuple[str, ...] = DEFAULT_TRANSIENT_TYPES
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be >= 0")
+        if not (0.0 <= self.jitter <= 1.0):
+            raise ValueError("jitter must be in [0, 1]")
+
+    def is_transient(self, error: Optional[Mapping[str, object]]) -> bool:
+        """Whether an error record describes a transient failure.
+
+        An explicit ``retryable`` field wins in both directions; absent
+        one, the error ``type`` is looked up in ``transient_types``.
+        """
+        if not isinstance(error, Mapping):
+            return False
+        flagged = error.get("retryable")
+        if isinstance(flagged, bool):
+            return flagged
+        return str(error.get("type")) in self.transient_types
+
+    def is_transient_exception(self, exc: BaseException) -> bool:
+        """Whether a live exception would classify as transient."""
+        return self.is_transient(
+            {
+                "type": type(exc).__name__,
+                "retryable": getattr(exc, "retryable", None),
+            }
+        )
+
+    def delay_s(self, key: str, attempt: int) -> float:
+        """Backoff before attempt ``attempt + 1`` (``attempt`` >= 1).
+
+        Deterministic: exponential in ``attempt``, capped at
+        ``max_delay_s``, with jitter drawn from
+        ``SHA-256(seed, key, attempt)`` — never from a shared RNG whose
+        state depends on scheduling order.
+        """
+        if attempt < 1:
+            raise ValueError("attempt must be >= 1 (the first attempt already ran)")
+        delay = min(
+            self.base_delay_s * (self.multiplier ** (attempt - 1)), self.max_delay_s
+        )
+        if self.jitter == 0.0 or delay == 0.0:
+            return delay
+        digest = hashlib.sha256(
+            f"retry:{self.seed}:{key}:{attempt}".encode("utf-8")
+        ).digest()
+        u = int.from_bytes(digest[:8], "big") / float(1 << 64)
+        return delay * (1.0 - self.jitter * u)

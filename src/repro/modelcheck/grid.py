@@ -122,6 +122,9 @@ def run_verify_campaign(
     store: Optional[Union[str, ResultStore]] = None,
     progress: Optional[ProgressCallback] = None,
     cache=None,
+    timeout: Optional[float] = None,
+    retry=None,
+    fault_plan=None,
 ) -> CampaignReport:
     """Build and execute a verification grid (the ``repro verify`` core).
 
@@ -131,6 +134,12 @@ def run_verify_campaign(
     :mod:`repro.modelcheck.frontier`).  Both leave every payload
     byte-identical to the serial run.  They are mutually exclusive: one
     machine-wide worker budget should not be oversubscribed twice.
+
+    ``timeout`` (per-cell deadline in seconds), ``retry`` (a
+    :class:`~repro.faults.RetryPolicy`) and ``fault_plan`` (a
+    :class:`~repro.faults.FaultPlan`, chaos-testing context) are
+    forwarded to :func:`~repro.campaign.run_campaign`; none of them is
+    part of the grid's identity.
     """
     if jobs > 1 and shards > 1:
         raise ValueError(
@@ -138,8 +147,19 @@ def run_verify_campaign(
             "(--jobs) or within cells (--shards), not both"
         )
     campaign = build_verify_campaign(task, cells, adversary=adversary, max_states=max_states)
-    result_store = ResultStore(store) if isinstance(store, str) else store
+    if isinstance(store, str):
+        result_store: Optional[ResultStore] = ResultStore(store, fault_plan=fault_plan)
+    else:
+        result_store = store
     worker = _ShardedVerifyWorker(shards) if shards > 1 else run_unit
     return run_campaign(
-        campaign, worker, jobs=jobs, store=result_store, progress=progress, cache=cache
+        campaign,
+        worker,
+        jobs=jobs,
+        store=result_store,
+        progress=progress,
+        cache=cache,
+        timeout=timeout,
+        retry=retry,
+        fault_plan=fault_plan,
     )

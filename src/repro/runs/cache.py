@@ -60,13 +60,22 @@ class ResultCache:
         root: cache directory (created lazily on first write).
         max_entries: optional bound on the number of stored documents;
             exceeding it evicts the least-recently-used entries.
+        fault_plan: optional :class:`~repro.faults.FaultPlan` arming the
+            named kill-points of the atomic write path (chaos-testing
+            context only; see :meth:`put`).
     """
 
-    def __init__(self, root: str, max_entries: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        root: str,
+        max_entries: Optional[int] = None,
+        fault_plan=None,
+    ) -> None:
         if max_entries is not None and max_entries < 1:
             raise ValueError("max_entries must be >= 1 (or None for unbounded)")
         self.root = root
         self.max_entries = max_entries
+        self.fault_plan = fault_plan
         # Approximate entry count, maintained incrementally so a bounded
         # cache does not rescan the whole store on every insert; it is
         # re-synchronised with the filesystem whenever eviction runs.
@@ -130,21 +139,47 @@ class ResultCache:
             pass
         return document
 
+    def _kill_point(self, stage: str, key: str) -> None:
+        """Named kill-point of the write path (no-op without a plan)."""
+        if self.fault_plan is not None:
+            self.fault_plan.fire(
+                f"cache.put.{stage}:{key}", supported=("kill", "slow_io")
+            )
+
     def put(self, key: str, document: Dict[str, object]) -> str:
-        """Store ``document`` under ``key`` atomically; returns the path."""
+        """Store ``document`` under ``key`` atomically; returns the path.
+
+        The write is tmp-file-then-``os.replace``, so a reader can only
+        ever observe the old entry or the complete new one.  Three named
+        kill-points pin that claim down for the chaos suite —
+        ``cache.put.enter`` (nothing written yet), ``cache.put.
+        tmp_written`` (temp file durable, entry untouched) and
+        ``cache.put.replaced`` (entry swapped, bookkeeping pending):
+        a simulated death at any of them must leave the old entry or no
+        entry, never a torn one.  On a simulated kill the temp file is
+        deliberately *not* cleaned up — a real ``kill -9`` would not
+        have, and readers must already ignore ``.tmp-`` names.
+        """
         path = self._path(key)
         os.makedirs(os.path.dirname(path), exist_ok=True)
         payload = json.dumps(document, sort_keys=True, indent=2) + "\n"
         is_new = not os.path.exists(path)
+        self._kill_point("enter", key)
         fd, tmp_path = tempfile.mkstemp(
             dir=os.path.dirname(path), prefix=".tmp-", suffix=".json"
         )
+        killed = False
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 handle.write(payload)
+            self._kill_point("tmp_written", key)
             os.replace(tmp_path, path)
+            self._kill_point("replaced", key)
+        except BaseException as exc:
+            killed = exc.__class__.__name__ == "KillPoint"
+            raise
         finally:
-            if os.path.exists(tmp_path):  # pragma: no cover - only on failure
+            if not killed and os.path.exists(tmp_path):
                 os.unlink(tmp_path)
         if self.max_entries is not None:
             if self._approx_count is None:

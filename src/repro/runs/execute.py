@@ -26,6 +26,7 @@ from ..batchsim import BatchEngine
 from ..campaign import ProgressCallback, ResultStore
 from ..core.configuration import Configuration
 from ..experiments import EXPERIMENTS
+from ..faults.deadline import call_with_deadline
 from ..modelcheck.grid import run_verify_campaign
 from ..simulator.engine import Simulator
 from ..workloads.generators import random_rigid_configuration
@@ -124,16 +125,13 @@ def _simulate_payload(configuration: Configuration, trace) -> Dict[str, object]:
     }
 
 
-def _execute_simulate(
-    spec: SimulateSpec,
-    *,
-    jobs: int,
-    shards: int,
-    store: Optional[Union[str, ResultStore]],
-    progress: Optional[ProgressCallback],
-    cache: Optional[ResultCache],
-    backend: Optional[str],
-) -> Tuple[Dict[str, object], bool, bool]:
+def _simulate_job(spec: SimulateSpec) -> Dict[str, object]:
+    """Module-level (hence picklable) body of one ``simulate`` run.
+
+    Kept a plain top-level function so a deadline-bounded execution can
+    ship it to a killable worker process by reference (see
+    :func:`~repro.faults.call_with_deadline`).
+    """
     if spec.initial is not None:
         configuration = Configuration(spec.initial)
     else:
@@ -146,14 +144,11 @@ def _execute_simulate(
     )
     stop = STOP_CONDITIONS.get(spec.stop) if spec.stop is not None else None
     trace = engine.run(spec.steps, stop=stop)
-    return _simulate_payload(configuration, trace), False, False
+    return _simulate_payload(configuration, trace)
 
 
-# --------------------------------------------------------------------- #
-# batch sweep
-# --------------------------------------------------------------------- #
-def _execute_batchsweep(
-    spec: BatchSweepSpec,
+def _execute_simulate(
+    spec: SimulateSpec,
     *,
     jobs: int,
     shards: int,
@@ -161,7 +156,25 @@ def _execute_batchsweep(
     progress: Optional[ProgressCallback],
     cache: Optional[ResultCache],
     backend: Optional[str],
+    timeout: Optional[float],
+    retry,
+    fault_plan,
 ) -> Tuple[Dict[str, object], bool, bool]:
+    payload = call_with_deadline(
+        _simulate_job, (spec,), timeout=timeout, what="simulate run"
+    )
+    return payload, False, False
+
+
+# --------------------------------------------------------------------- #
+# batch sweep
+# --------------------------------------------------------------------- #
+def _batchsweep_job(spec: BatchSweepSpec, backend: Optional[str]) -> Dict[str, object]:
+    """Module-level (hence picklable) body of one ``batch_sweep`` run.
+
+    Like :func:`_simulate_job`: top-level by design, so the deadline
+    wrapper can execute it in a killable worker process.
+    """
     configurations = [
         random_rigid_configuration(spec.n, spec.k, random.Random(seed))
         for seed in spec.seeds
@@ -195,7 +208,26 @@ def _execute_batchsweep(
         "num_runs": len(runs),
         "runs": runs,
         "passed": not any(run["had_collision"] for run in runs),
-    }, False, False
+    }
+
+
+def _execute_batchsweep(
+    spec: BatchSweepSpec,
+    *,
+    jobs: int,
+    shards: int,
+    store: Optional[Union[str, ResultStore]],
+    progress: Optional[ProgressCallback],
+    cache: Optional[ResultCache],
+    backend: Optional[str],
+    timeout: Optional[float],
+    retry,
+    fault_plan,
+) -> Tuple[Dict[str, object], bool, bool]:
+    payload = call_with_deadline(
+        _batchsweep_job, (spec, backend), timeout=timeout, what="batch sweep"
+    )
+    return payload, False, False
 
 
 # --------------------------------------------------------------------- #
@@ -210,6 +242,9 @@ def _execute_verify(
     progress: Optional[ProgressCallback],
     cache: Optional[ResultCache],
     backend: Optional[str],
+    timeout: Optional[float],
+    retry,
+    fault_plan,
 ) -> Tuple[Dict[str, object], bool, bool]:
     report = run_verify_campaign(
         spec.task,
@@ -221,6 +256,9 @@ def _execute_verify(
         store=store,
         progress=progress,
         cache=cache,
+        timeout=timeout,
+        retry=retry,
+        fault_plan=fault_plan,
     )
     rows: List[List[object]] = []
     documents: List[Dict[str, object]] = []
@@ -276,9 +314,19 @@ def _execute_experiment(
     progress: Optional[ProgressCallback],
     cache: Optional[ResultCache],
     backend: Optional[str],
+    timeout: Optional[float],
+    retry,
+    fault_plan,
 ) -> Tuple[Dict[str, object], bool, bool]:
     result = EXPERIMENTS[spec.name](
-        spec.variant, jobs=jobs, store=store, progress=progress, cache=cache
+        spec.variant,
+        jobs=jobs,
+        store=store,
+        progress=progress,
+        cache=cache,
+        timeout=timeout,
+        retry=retry,
+        fault_plan=fault_plan,
     )
     payload = {
         "experiment": result.experiment,
@@ -343,6 +391,9 @@ def execute(
     cache: Optional[Union[str, ResultCache]] = None,
     refresh: bool = False,
     backend: Optional[str] = None,
+    timeout: Optional[float] = None,
+    retry=None,
+    fault_plan=None,
 ) -> RunResult:
     """Execute one run spec and return its result.
 
@@ -368,6 +419,18 @@ def execute(
             :mod:`repro.batchsim.backends`).  Execution context like
             ``jobs``: every backend produces byte-identical payloads, so
             it never enters the spec or the cache key.
+        timeout: per-unit deadline in seconds for campaign-backed kinds
+            (an overrunning worker is *killed*, recorded as
+            ``"timeout"``, and retried once in isolation), and a
+            whole-run deadline for ``simulate`` / ``batch_sweep`` (which
+            then execute in a killable worker process and raise
+            :class:`~repro.faults.DeadlineExceeded` on overrun).
+        retry: optional :class:`~repro.faults.RetryPolicy` governing
+            in-place re-attempts of transiently failing campaign units.
+        fault_plan: optional :class:`~repro.faults.FaultPlan` arming
+            deterministic fault injection (chaos-testing context only).
+            Like ``jobs``, all three are execution context: they never
+            enter the spec, the run id or any cache key.
 
     Returns:
         A :class:`RunResult`; ``cached`` is ``True`` iff the payload was
@@ -376,7 +439,10 @@ def execute(
     executor = _EXECUTORS.get(type(spec))
     if executor is None:
         raise TypeError(f"cannot execute spec of type {type(spec).__name__}")
-    result_cache = as_result_cache(cache)
+    if isinstance(cache, str) and fault_plan is not None:
+        result_cache: Optional[ResultCache] = ResultCache(cache, fault_plan=fault_plan)
+    else:
+        result_cache = as_result_cache(cache)
     run_id = cache_key(spec)
     if result_cache is not None and store is None and not refresh:
         document = result_cache.get(run_id)
@@ -398,6 +464,9 @@ def execute(
         progress=progress,
         cache=unit_cache,
         backend=backend,
+        timeout=timeout,
+        retry=retry,
+        fault_plan=fault_plan,
     )
     # Whole-run entries are written only for runs whose payload is the
     # spec's canonical result: no transient worker failures (those must

@@ -9,6 +9,20 @@ documents on ``POST /v1/runs``, answering ``GET /v1/runs/<id>`` and
 result cache.
 """
 
-from .server import RunRequestHandler, RunService, create_server, serve
+from .server import (
+    RunRequestHandler,
+    RunService,
+    ServiceBusy,
+    ServiceDraining,
+    create_server,
+    serve,
+)
 
-__all__ = ["RunRequestHandler", "RunService", "create_server", "serve"]
+__all__ = [
+    "RunRequestHandler",
+    "RunService",
+    "ServiceBusy",
+    "ServiceDraining",
+    "create_server",
+    "serve",
+]

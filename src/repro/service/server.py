@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import json
 import re
+import signal
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -34,11 +35,28 @@ from ..runs.cache import ResultCache, as_result_cache, cache_key
 from ..runs.execute import execute
 from ..runs.spec import RunSpec, spec_from_jsonable
 
-__all__ = ["RunService", "RunRequestHandler", "ServiceBusy", "create_server", "serve"]
+__all__ = [
+    "RunService",
+    "RunRequestHandler",
+    "ServiceBusy",
+    "ServiceDraining",
+    "create_server",
+    "serve",
+]
 
 
 class ServiceBusy(Exception):
     """Raised by :meth:`RunService.submit` when the backlog is full."""
+
+
+class ServiceDraining(Exception):
+    """Raised by :meth:`RunService.submit` while the service drains.
+
+    A draining service finishes its in-flight runs but accepts no new
+    work; the HTTP layer translates this into ``503`` with a
+    ``Retry-After`` header so well-behaved clients fail over or back
+    off instead of hammering a server that is about to exit.
+    """
 
 #: Maximal accepted request body (a spec is tiny; anything bigger is abuse).
 MAX_BODY_BYTES = 1 << 20
@@ -67,6 +85,18 @@ class RunService:
             *unsettled* backlog: once ``max_runs`` runs are queued or
             running, new submissions raise :class:`ServiceBusy`
             (HTTP 429) instead of growing the queue without limit.
+        run_timeout: optional per-run deadline in seconds, forwarded to
+            :func:`~repro.runs.execute.execute` — a hung run is killed
+            and surfaced as a retryable ``DeadlineExceeded`` error
+            instead of occupying a worker slot forever.
+        retry: optional :class:`~repro.faults.RetryPolicy` forwarded to
+            :func:`~repro.runs.execute.execute` for transient unit
+            failures.
+        fault_plan: optional :class:`~repro.faults.FaultPlan` arming the
+            ``service.run:<id>`` injection site and the downstream
+            execution stack (chaos-testing context only).
+        retry_after_s: advisory back-off, in seconds, sent to clients in
+            the ``Retry-After`` header of 429/503 responses.
     """
 
     def __init__(
@@ -76,6 +106,10 @@ class RunService:
         jobs: int = 1,
         shards: int = 1,
         max_runs: int = 1024,
+        run_timeout: Optional[float] = None,
+        retry=None,
+        fault_plan=None,
+        retry_after_s: float = 5.0,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -83,28 +117,61 @@ class RunService:
             raise ValueError("max_runs must be >= 1")
         if jobs > 1 and shards > 1:
             raise ValueError("jobs and shards cannot both exceed 1")
-        self._cache = as_result_cache(cache)
+        if run_timeout is not None and run_timeout <= 0:
+            raise ValueError("run_timeout must be > 0 (or None to disable)")
+        if retry_after_s <= 0:
+            raise ValueError("retry_after_s must be > 0")
+        if isinstance(cache, str) and fault_plan is not None:
+            self._cache: Optional[ResultCache] = ResultCache(
+                cache, fault_plan=fault_plan
+            )
+        else:
+            self._cache = as_result_cache(cache)
         self._jobs = jobs
         self._shards = shards
         self._max_runs = max_runs
+        self._run_timeout = run_timeout
+        self._retry = retry
+        self._fault_plan = fault_plan
+        self.retry_after_s = retry_after_s
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-run"
         )
         self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._draining = False
         self._runs: Dict[str, Dict[str, object]] = {}
 
     # ------------------------------------------------------------------ #
     # public operations (one per endpoint)
     # ------------------------------------------------------------------ #
+    def _unsettled_locked(self) -> int:
+        return sum(
+            1 for e in self._runs.values() if e["status"] in ("queued", "running")
+        )
+
     def health(self) -> Dict[str, object]:
-        """Liveness document for ``GET /v1/health``."""
+        """Liveness document for ``GET /v1/health``.
+
+        The ``status`` field is a three-state readiness signal for load
+        balancers: ``"ok"`` (accepting work), ``"saturated"`` (alive,
+        but the backlog is full so submissions get 429) and
+        ``"draining"`` (finishing in-flight runs, rejecting new ones
+        with 503).
+        """
         with self._lock:
             by_status: Dict[str, int] = {}
             for entry in self._runs.values():
                 status = str(entry["status"])
                 by_status[status] = by_status.get(status, 0) + 1
+            if self._draining:
+                state = "draining"
+            elif self._unsettled_locked() >= self._max_runs:
+                state = "saturated"
+            else:
+                state = "ok"
         return {
-            "status": "ok",
+            "status": state,
             "version": __version__,
             "cache": self._cache.root if self._cache is not None else None,
             "runs": by_status,
@@ -134,6 +201,11 @@ class RunService:
             return None
 
         with self._lock:
+            if self._draining:
+                raise ServiceDraining(
+                    "service is draining: in-flight runs are finishing, "
+                    "no new submissions are accepted"
+                )
             entry = _reusable_entry()
             if entry is not None:
                 return self._view(run_id, entry), False
@@ -148,6 +220,11 @@ class RunService:
             if stored is not None and not ("payload" in stored and "spec" in stored):
                 stored = None
         with self._lock:
+            if self._draining:  # drain may have started during the lookup
+                raise ServiceDraining(
+                    "service is draining: in-flight runs are finishing, "
+                    "no new submissions are accepted"
+                )
             entry = _reusable_entry()  # another thread may have raced us
             if entry is not None:
                 return self._view(run_id, entry), False
@@ -160,9 +237,7 @@ class RunService:
                     "cached": True,
                 }
             else:
-                backlog = sum(
-                    1 for e in self._runs.values() if e["status"] in ("queued", "running")
-                )
+                backlog = self._unsettled_locked()
                 if backlog >= self._max_runs:
                     raise ServiceBusy(
                         f"backlog full: {backlog} run(s) queued or running "
@@ -214,8 +289,38 @@ class RunService:
                 return self._view(run_id, entry)
         return None
 
+    def drain(self) -> None:
+        """Enter graceful-drain mode (idempotent).
+
+        In-flight and already-queued runs keep executing; every new
+        :meth:`submit` raises :class:`ServiceDraining` (HTTP 503 with
+        ``Retry-After``).  Pair with :meth:`wait_idle` to know when the
+        last run has settled.
+        """
+        with self._lock:
+            self._draining = True
+
+    @property
+    def draining(self) -> bool:
+        """Whether the service is in graceful-drain mode."""
+        with self._lock:
+            return self._draining
+
+    def wait_idle(self, timeout: Optional[float] = None) -> bool:
+        """Block until no run is queued or running (or ``timeout`` passes).
+
+        Returns ``True`` when the service went idle, ``False`` on
+        timeout with work still unsettled — callers shutting down decide
+        whether to wait longer or abandon the stragglers.
+        """
+        with self._idle:
+            return self._idle.wait_for(
+                lambda: self._unsettled_locked() == 0, timeout=timeout
+            )
+
     def shutdown(self) -> None:
         """Stop accepting work and wait for in-flight runs."""
+        self.drain()
         self._pool.shutdown(wait=True)
 
     # ------------------------------------------------------------------ #
@@ -239,23 +344,40 @@ class RunService:
         with self._lock:
             self._runs[run_id]["status"] = "running"
         try:
+            if self._fault_plan is not None:
+                # Named injection site of the service's own run loop
+                # (worker-thread context: crash/hang faults would take
+                # the whole server down, so only the recoverable kinds
+                # are supported here).
+                self._fault_plan.fire(
+                    f"service.run:{run_id[:12]}", supported=("transient", "slow_io")
+                )
             result = execute(
-                spec, jobs=self._jobs, shards=self._shards, cache=self._cache
+                spec,
+                jobs=self._jobs,
+                shards=self._shards,
+                cache=self._cache,
+                timeout=self._run_timeout,
+                retry=self._retry,
+                fault_plan=self._fault_plan,
             )
         except Exception as exc:  # noqa: BLE001 - surfaced to the client
-            with self._lock:
+            with self._idle:
                 self._runs[run_id].update(
                     status="error",
                     error={"type": type(exc).__name__, "message": str(exc)},
+                    retryable=bool(getattr(exc, "retryable", False)),
                 )
+                self._idle.notify_all()
             return
-        with self._lock:
+        with self._idle:
             self._runs[run_id].update(
                 status="done",
                 result=result.payload,
                 cached=result.cached,
                 retryable=not result.deterministic,
             )
+            self._idle.notify_all()
 
     @staticmethod
     def _view(run_id: str, entry: Dict[str, object]) -> Dict[str, object]:
@@ -289,23 +411,38 @@ class RunRequestHandler(BaseHTTPRequestHandler):
             super().log_message(format, *args)
 
     def _send_json(
-        self, code: int, document: Dict[str, object], close: bool = False
+        self,
+        code: int,
+        document: Dict[str, object],
+        close: bool = False,
+        retry_after_s: Optional[float] = None,
     ) -> None:
         body = (json.dumps(document, sort_keys=True) + "\n").encode("utf-8")
         self.send_response(code)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if retry_after_s is not None:
+            # Retry-After takes integral seconds; round up so a client
+            # honouring the header never retries *before* the advisory.
+            self.send_header("Retry-After", str(max(1, int(-(-retry_after_s // 1)))))
         if close:
             self.send_header("Connection", "close")
             self.close_connection = True
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_error_json(self, code: int, message: str) -> None:
+    def _send_error_json(
+        self, code: int, message: str, retry_after_s: Optional[float] = None
+    ) -> None:
         # Error paths may not have consumed the request body; on a
         # keep-alive connection the unread bytes would be parsed as the
         # next request, so always close after an error response.
-        self._send_json(code, {"error": message}, close=True)
+        # Back-pressure responses (429/503) carry the advisory delay both
+        # as a Retry-After header and machine-parseably in the body.
+        document: Dict[str, object] = {"error": message}
+        if retry_after_s is not None:
+            document["retry_after_s"] = retry_after_s
+        self._send_json(code, document, close=True, retry_after_s=retry_after_s)
 
     def _read_json_body(self) -> Optional[Dict[str, object]]:
         try:
@@ -357,7 +494,14 @@ class RunRequestHandler(BaseHTTPRequestHandler):
         try:
             view, created = self.service.submit(document)
         except ServiceBusy as exc:
-            self._send_error_json(429, str(exc))
+            self._send_error_json(
+                429, str(exc), retry_after_s=self.service.retry_after_s
+            )
+            return
+        except ServiceDraining as exc:
+            self._send_error_json(
+                503, str(exc), retry_after_s=self.service.retry_after_s
+            )
             return
         except (TypeError, ValueError) as exc:
             self._send_error_json(400, str(exc))
@@ -374,6 +518,7 @@ def create_server(
     workers: int = 2,
     jobs: int = 1,
     shards: int = 1,
+    run_timeout: Optional[float] = None,
     verbose: bool = False,
 ) -> ThreadingHTTPServer:
     """Build a ready-to-run server (callers own ``serve_forever``).
@@ -382,7 +527,10 @@ def create_server(
     bound address back from ``server.server_address``.
     """
     if service is None:
-        service = RunService(cache=cache, workers=workers, jobs=jobs, shards=shards)
+        service = RunService(
+            cache=cache, workers=workers, jobs=jobs, shards=shards,
+            run_timeout=run_timeout,
+        )
     handler = type(
         "BoundRunRequestHandler",
         (RunRequestHandler,),
@@ -401,16 +549,45 @@ def serve(
     workers: int = 2,
     jobs: int = 1,
     shards: int = 1,
+    run_timeout: Optional[float] = None,
+    drain_grace_s: float = 30.0,
     verbose: bool = False,
 ) -> int:
-    """Run the API server until interrupted (the ``repro serve`` core)."""
-    service = RunService(cache=cache, workers=workers, jobs=jobs, shards=shards)
+    """Run the API server until interrupted (the ``repro serve`` core).
+
+    ``SIGTERM`` (the normal orchestrator stop signal) triggers a
+    graceful drain: new submissions get 503 + ``Retry-After`` while
+    in-flight runs are given ``drain_grace_s`` seconds to settle, then
+    the listener stops and the process exits.  ``run_timeout`` bounds
+    each run's execution (see :class:`RunService`).
+    """
+    service = RunService(
+        cache=cache, workers=workers, jobs=jobs, shards=shards,
+        run_timeout=run_timeout,
+    )
     server = create_server(
         host, port, service=service, verbose=verbose
     )
+
+    def _drain_and_stop(signum, frame) -> None:  # pragma: no cover - signal path
+        service.drain()
+
+        def _stop() -> None:
+            service.wait_idle(timeout=drain_grace_s)
+            server.shutdown()
+
+        # shutdown() blocks until serve_forever returns, so it must run
+        # off the signal-handler thread.
+        threading.Thread(target=_stop, name="repro-drain", daemon=True).start()
+
+    try:
+        signal.signal(signal.SIGTERM, _drain_and_stop)
+    except ValueError:  # pragma: no cover - non-main-thread embedding
+        pass
     bound_host, bound_port = server.server_address[:2]
     print(f"repro serve: listening on http://{bound_host}:{bound_port} "
           f"(workers={workers}, jobs={jobs}, shards={shards}, "
+          f"timeout={run_timeout if run_timeout is not None else 'none'}, "
           f"cache={service.health()['cache'] or 'disabled'})")
     try:
         server.serve_forever()

@@ -39,14 +39,22 @@ class TestLinks:
                 resolved = os.path.normpath(os.path.join(docs_dir, target))
                 assert os.path.exists(resolved), f"{name}: broken link {target}"
 
+    DOCS = (
+        "architecture.md",
+        "verification.md",
+        "performance.md",
+        "robustness.md",
+        "cli.md",
+    )
+
     def test_docs_tree_is_complete(self):
-        for name in ("architecture.md", "verification.md", "performance.md", "cli.md"):
+        for name in self.DOCS:
             assert os.path.exists(os.path.join(REPO_ROOT, "docs", name)), name
 
     def test_readme_mentions_every_doc(self):
         with open(os.path.join(REPO_ROOT, "README.md"), "r", encoding="utf-8") as handle:
             readme = handle.read()
-        for name in ("architecture.md", "verification.md", "performance.md", "cli.md"):
+        for name in self.DOCS:
             assert f"docs/{name}" in readme, name
 
 
