@@ -69,6 +69,7 @@ def run_experiment_campaign(
     timeout: Optional[float] = None,
     retry=None,
     fault_plan=None,
+    metrics=None,
 ) -> CampaignReport:
     """Build the campaign for an experiment suite and execute it.
 
@@ -81,7 +82,8 @@ def run_experiment_campaign(
     :class:`~repro.faults.FaultPlan` (chaos-testing context); all three
     are forwarded to :func:`~repro.campaign.executor.run_campaign`, and
     a path-given store inherits the fault plan's write-path injection
-    sites.
+    sites.  ``metrics`` is an optional duck-typed metrics sink counting
+    settled units (see :func:`~repro.campaign.executor.run_campaign`).
     """
     campaign = build_campaign(experiment, variant)
     if isinstance(store, str):
@@ -99,4 +101,5 @@ def run_experiment_campaign(
         timeout=timeout,
         retry=retry,
         fault_plan=fault_plan,
+        metrics=metrics,
     )

@@ -282,6 +282,7 @@ class _Collector:
         total: int,
         cache=None,
         worker_name: Optional[str] = None,
+        metrics=None,
     ) -> None:
         self._report = report
         self._store = store
@@ -289,6 +290,7 @@ class _Collector:
         self._total = total
         self._cache = cache
         self._worker_name = worker_name
+        self._metrics = metrics
         self._done = len(report.records)
 
     def add(self, record: Dict[str, object]) -> None:
@@ -298,6 +300,10 @@ class _Collector:
         if self._cache is not None and record.get("status") == "ok":
             key = self._cache.unit_key(self._worker_name, _unit_fields(record))
             self._cache.put(key, {"status": "ok", "payload": record.get("payload")})
+        if self._metrics is not None:
+            self._metrics.inc(
+                "campaign_units_total", status=str(record.get("status", "?"))
+            )
         self._done += 1
         if self._progress is not None:
             self._progress(self._done, self._total, record)
@@ -556,6 +562,7 @@ def run_campaign(
     timeout: Optional[float] = None,
     retry=None,
     fault_plan=None,
+    metrics=None,
 ) -> CampaignReport:
     """Execute every unit of ``campaign`` through ``worker``.
 
@@ -593,6 +600,14 @@ def run_campaign(
             execution context — unit cache keys stay those of the
             unwrapped worker, and batch claiming is disabled so every
             unit passes its injection site.
+        metrics: optional duck-typed metrics sink — any object with an
+            ``inc(name, **labels)`` method (e.g. the HTTP service's
+            :class:`~repro.service.metrics.MetricsRegistry`).  Every
+            settled unit bumps ``campaign_units_total`` labelled by how
+            it settled (``ok``/``error``/``crashed``/``timeout`` for
+            executed units, ``resumed``/``cached`` for units served
+            without executing).  Pure observability: never affects
+            records, summaries or cache keys.
 
     Returns:
         The report with records sorted by grid index.  When a store is
@@ -631,6 +646,8 @@ def run_campaign(
             if record is not None and record.get("status") == "ok":
                 report.records.append(record)
                 report.resumed.append(unit.unit_id)
+                if metrics is not None:
+                    metrics.inc("campaign_units_total", status="resumed")
             else:
                 pending.append(unit)
     else:
@@ -651,6 +668,8 @@ def run_campaign(
                 record["duration_s"] = 0.0
                 report.records.append(record)
                 report.cached.append(unit.unit_id)
+                if metrics is not None:
+                    metrics.inc("campaign_units_total", status="cached")
                 if store is not None:
                     store.append(campaign.name, record)
             else:
@@ -659,7 +678,7 @@ def run_campaign(
 
     collector = _Collector(
         report, store, progress, total=campaign.num_units,
-        cache=cache, worker_name=worker_name,
+        cache=cache, worker_name=worker_name, metrics=metrics,
     )
     if timeout is not None and pending:
         # Deadlines require killability, so even jobs=1 runs through a

@@ -196,6 +196,11 @@ def build_parser() -> argparse.ArgumentParser:
         "retryable error instead of occupying a worker forever",
     )
     serve.add_argument("--verbose", action="store_true", help="log every request to stderr")
+    serve.add_argument(
+        "--json-logs", action="store_true",
+        help="emit one structured JSON log line per request to stderr "
+        "(timestamp, client, method, path, status, duration)",
+    )
     # No --refresh here: the service decides per-request whether to
     # execute, and a server-wide refresh flag would be misleading.
     _add_cache_arguments(serve, include_refresh=False)
@@ -587,6 +592,7 @@ def _dispatch(parser: argparse.ArgumentParser, args, out) -> int:
             shards=args.shards,
             run_timeout=args.timeout,
             verbose=args.verbose,
+            log_json=args.json_logs,
         )
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover

@@ -84,6 +84,7 @@ def run(
     timeout=None,
     retry=None,
     fault_plan=None,
+    metrics=None,
 ) -> ExperimentResult:
     """Run E2 and return its result table."""
     result = ExperimentResult(
@@ -94,7 +95,7 @@ def run(
     report = run_experiment_campaign(
         "e2", variant, run_unit,
         jobs=jobs, store=store, progress=progress, cache=cache,
-        timeout=timeout, retry=retry, fault_plan=fault_plan,
+        timeout=timeout, retry=retry, fault_plan=fault_plan, metrics=metrics,
     )
     result.apply_campaign_report(report)
     result.add_note("expected shape: 100% of starts reach C*; moves grow like O(n * k)")

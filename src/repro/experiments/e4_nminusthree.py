@@ -70,6 +70,7 @@ def run(
     timeout=None,
     retry=None,
     fault_plan=None,
+    metrics=None,
 ) -> ExperimentResult:
     """Run E4 and return its result table."""
     result = ExperimentResult(
@@ -88,7 +89,7 @@ def run(
     report = run_experiment_campaign(
         "e4", variant, run_unit,
         jobs=jobs, store=store, progress=progress, cache=cache,
-        timeout=timeout, retry=retry, fault_plan=fault_plan,
+        timeout=timeout, retry=retry, fault_plan=fault_plan, metrics=metrics,
     )
     result.apply_campaign_report(report)
     result.add_note("expected shape: all starts pass; the dedicated algorithm covers k = n - 3, which Ring Clearing does not")

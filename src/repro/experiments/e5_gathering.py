@@ -88,6 +88,7 @@ def run(
     timeout=None,
     retry=None,
     fault_plan=None,
+    metrics=None,
 ) -> ExperimentResult:
     """Run E5 and return its result table."""
     result = ExperimentResult(
@@ -107,7 +108,7 @@ def run(
     report = run_experiment_campaign(
         "e5", variant, run_unit,
         jobs=jobs, store=store, progress=progress, cache=cache,
-        timeout=timeout, retry=retry, fault_plan=fault_plan,
+        timeout=timeout, retry=retry, fault_plan=fault_plan, metrics=metrics,
     )
     result.apply_campaign_report(report)
     result.add_note(

@@ -73,6 +73,7 @@ def run(
     timeout=None,
     retry=None,
     fault_plan=None,
+    metrics=None,
 ) -> ExperimentResult:
     """Run E6 and return its result table."""
     result = ExperimentResult(
@@ -85,7 +86,7 @@ def run(
     report = run_experiment_campaign(
         "e6", variant, run_unit,
         jobs=jobs, store=store, progress=progress, cache=cache,
-        timeout=timeout, retry=retry, fault_plan=fault_plan,
+        timeout=timeout, retry=retry, fault_plan=fault_plan, metrics=metrics,
     )
     result.apply_campaign_report(report)
     # 2. Simulation cross-checks on feasible cells.

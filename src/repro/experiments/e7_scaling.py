@@ -188,6 +188,7 @@ def run(
     timeout=None,
     retry=None,
     fault_plan=None,
+    metrics=None,
 ) -> ExperimentResult:
     """Run E7 and return its result table."""
     result = ExperimentResult(
@@ -207,7 +208,7 @@ def run(
         "e7", variant, run_unit,
         jobs=jobs, store=store, progress=progress, cache=cache,
         batch_worker=run_units_batched,
-        timeout=timeout, retry=retry, fault_plan=fault_plan,
+        timeout=timeout, retry=retry, fault_plan=fault_plan, metrics=metrics,
     )
     result.apply_campaign_report(report)
     result.add_note(

@@ -113,6 +113,7 @@ def run(
     timeout=None,
     retry=None,
     fault_plan=None,
+    metrics=None,
 ) -> ExperimentResult:
     """Run E8 and return its result table."""
     result = ExperimentResult(
@@ -126,7 +127,7 @@ def run(
     report = run_experiment_campaign(
         "e8", variant, run_unit,
         jobs=jobs, store=store, progress=progress, cache=cache,
-        timeout=timeout, retry=retry, fault_plan=fault_plan,
+        timeout=timeout, retry=retry, fault_plan=fault_plan, metrics=metrics,
     )
     result.apply_campaign_report(report)
     counterexamples = [

@@ -125,6 +125,7 @@ def run_verify_campaign(
     timeout: Optional[float] = None,
     retry=None,
     fault_plan=None,
+    metrics=None,
 ) -> CampaignReport:
     """Build and execute a verification grid (the ``repro verify`` core).
 
@@ -139,7 +140,8 @@ def run_verify_campaign(
     :class:`~repro.faults.RetryPolicy`) and ``fault_plan`` (a
     :class:`~repro.faults.FaultPlan`, chaos-testing context) are
     forwarded to :func:`~repro.campaign.run_campaign`; none of them is
-    part of the grid's identity.
+    part of the grid's identity.  ``metrics`` is an optional duck-typed
+    metrics sink counting settled units (also forwarded).
     """
     if jobs > 1 and shards > 1:
         raise ValueError(
@@ -162,4 +164,5 @@ def run_verify_campaign(
         timeout=timeout,
         retry=retry,
         fault_plan=fault_plan,
+        metrics=metrics,
     )

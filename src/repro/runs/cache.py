@@ -27,6 +27,7 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
 from typing import Dict, List, Optional, Tuple, Union
 
 from .. import __version__
@@ -79,6 +80,12 @@ class ResultCache:
         # Approximate entry count, maintained incrementally so a bounded
         # cache does not rescan the whole store on every insert; it is
         # re-synchronised with the filesystem whenever eviction runs.
+        # Guarded by a (reentrant) lock: every mutation — the newness
+        # check in put(), the corrupt-entry decrement in get(), the
+        # eviction resync — happens under it, so concurrent writers
+        # cannot drift the count (e.g. two threads both counting the
+        # same new key).
+        self._count_lock = threading.RLock()
         self._approx_count: Optional[int] = None
 
     # ------------------------------------------------------------------ #
@@ -132,6 +139,13 @@ class ResultCache:
                     os.unlink(path)
                 except OSError:  # pragma: no cover - best-effort cleanup
                     pass
+                else:
+                    # The entry is gone: the approximate count must
+                    # follow, or a bounded cache slowly believes it is
+                    # fuller than it is and evicts live entries early.
+                    with self._count_lock:
+                        if self._approx_count is not None and self._approx_count > 0:
+                            self._approx_count -= 1
             return None
         try:
             os.utime(path)
@@ -163,7 +177,6 @@ class ResultCache:
         path = self._path(key)
         os.makedirs(os.path.dirname(path), exist_ok=True)
         payload = json.dumps(document, sort_keys=True, indent=2) + "\n"
-        is_new = not os.path.exists(path)
         self._kill_point("enter", key)
         fd, tmp_path = tempfile.mkstemp(
             dir=os.path.dirname(path), prefix=".tmp-", suffix=".json"
@@ -173,7 +186,15 @@ class ResultCache:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 handle.write(payload)
             self._kill_point("tmp_written", key)
-            os.replace(tmp_path, path)
+            # Newness is decided under the same lock as the replace
+            # itself: checked any earlier, two threads putting the same
+            # new key would *both* observe "does not exist" and both
+            # count it, drifting the approximate count upward forever.
+            with self._count_lock:
+                is_new = not os.path.exists(path)
+                os.replace(tmp_path, path)
+                if is_new and self._approx_count is not None:
+                    self._approx_count += 1
             self._kill_point("replaced", key)
         except BaseException as exc:
             killed = exc.__class__.__name__ == "KillPoint"
@@ -182,20 +203,25 @@ class ResultCache:
             if not killed and os.path.exists(tmp_path):
                 os.unlink(tmp_path)
         if self.max_entries is not None:
-            if self._approx_count is None:
-                self._approx_count = len(self._entries())
-            elif is_new:
-                self._approx_count += 1
-            if self._approx_count > self.max_entries:
-                self._evict()
+            with self._count_lock:
+                if self._approx_count is None:
+                    self._approx_count = len(self._entries())
+                if self._approx_count > self.max_entries:
+                    self._evict()
         return path
 
     # ------------------------------------------------------------------ #
     # maintenance
     # ------------------------------------------------------------------ #
-    def _entries(self) -> List[Tuple[float, str]]:
-        """All ``(mtime, path)`` entries currently stored."""
-        entries: List[Tuple[float, str]] = []
+    def _entries(self) -> List[Tuple[int, str]]:
+        """All ``(mtime_ns, path)`` entries currently stored.
+
+        Recency is read at nanosecond resolution (``st_mtime_ns``):
+        whole-second ``getmtime`` would collapse every entry written
+        within the same second into one bucket, making "LRU" eviction
+        depend on hash-path order instead of actual access order.
+        """
+        entries: List[Tuple[int, str]] = []
         if not os.path.isdir(self.root):
             return entries
         for bucket in os.listdir(self.root):
@@ -207,7 +233,7 @@ class ResultCache:
                     continue
                 path = os.path.join(bucket_dir, name)
                 try:
-                    entries.append((os.path.getmtime(path), path))
+                    entries.append((os.stat(path).st_mtime_ns, path))
                 except OSError:  # pragma: no cover - raced deletion
                     continue
         return entries
@@ -222,25 +248,34 @@ class ResultCache:
         ]
 
     def _evict(self) -> None:
-        entries = self._entries()
-        excess = len(entries) - (self.max_entries or 0)
-        if excess > 0:
-            for _, path in sorted(entries)[:excess]:
+        """Remove least-recently-used entries beyond ``max_entries``.
+
+        Entries are ordered by nanosecond mtime; entries sharing the
+        exact same timestamp (coarse-mtime filesystems, frozen clocks)
+        tie-break deterministically in lexicographic path — i.e. key —
+        order, lowest key first.
+        """
+        with self._count_lock:
+            entries = self._entries()
+            excess = len(entries) - (self.max_entries or 0)
+            if excess > 0:
+                for _, path in sorted(entries)[:excess]:
+                    try:
+                        os.unlink(path)
+                    except OSError:  # pragma: no cover - raced deletion
+                        continue
+            self._approx_count = min(len(entries), self.max_entries or len(entries))
+
+    def clear(self) -> int:
+        """Remove every entry; returns the number removed."""
+        with self._count_lock:
+            entries = self._entries()
+            for _, path in entries:
                 try:
                     os.unlink(path)
                 except OSError:  # pragma: no cover - raced deletion
                     continue
-        self._approx_count = min(len(entries), self.max_entries or len(entries))
-
-    def clear(self) -> int:
-        """Remove every entry; returns the number removed."""
-        entries = self._entries()
-        for _, path in entries:
-            try:
-                os.unlink(path)
-            except OSError:  # pragma: no cover - raced deletion
-                continue
-        self._approx_count = 0
+            self._approx_count = 0
         return len(entries)
 
 

@@ -159,6 +159,7 @@ def _execute_simulate(
     timeout: Optional[float],
     retry,
     fault_plan,
+    metrics,
 ) -> Tuple[Dict[str, object], bool, bool]:
     payload = call_with_deadline(
         _simulate_job, (spec,), timeout=timeout, what="simulate run"
@@ -223,6 +224,7 @@ def _execute_batchsweep(
     timeout: Optional[float],
     retry,
     fault_plan,
+    metrics,
 ) -> Tuple[Dict[str, object], bool, bool]:
     payload = call_with_deadline(
         _batchsweep_job, (spec, backend), timeout=timeout, what="batch sweep"
@@ -245,6 +247,7 @@ def _execute_verify(
     timeout: Optional[float],
     retry,
     fault_plan,
+    metrics,
 ) -> Tuple[Dict[str, object], bool, bool]:
     report = run_verify_campaign(
         spec.task,
@@ -259,6 +262,7 @@ def _execute_verify(
         timeout=timeout,
         retry=retry,
         fault_plan=fault_plan,
+        metrics=metrics,
     )
     rows: List[List[object]] = []
     documents: List[Dict[str, object]] = []
@@ -317,6 +321,7 @@ def _execute_experiment(
     timeout: Optional[float],
     retry,
     fault_plan,
+    metrics,
 ) -> Tuple[Dict[str, object], bool, bool]:
     result = EXPERIMENTS[spec.name](
         spec.variant,
@@ -327,6 +332,7 @@ def _execute_experiment(
         timeout=timeout,
         retry=retry,
         fault_plan=fault_plan,
+        metrics=metrics,
     )
     payload = {
         "experiment": result.experiment,
@@ -394,6 +400,7 @@ def execute(
     timeout: Optional[float] = None,
     retry=None,
     fault_plan=None,
+    metrics=None,
 ) -> RunResult:
     """Execute one run spec and return its result.
 
@@ -431,6 +438,12 @@ def execute(
             deterministic fault injection (chaos-testing context only).
             Like ``jobs``, all three are execution context: they never
             enter the spec, the run id or any cache key.
+        metrics: optional duck-typed metrics sink (any object with an
+            ``inc(name, **labels)`` method, e.g.
+            :class:`repro.service.metrics.MetricsRegistry`).  Campaign-
+            backed kinds count settled units on it
+            (``campaign_units_total``).  Pure observability: it never
+            affects payloads, run ids or cache keys.
 
     Returns:
         A :class:`RunResult`; ``cached`` is ``True`` iff the payload was
@@ -467,6 +480,7 @@ def execute(
         timeout=timeout,
         retry=retry,
         fault_plan=fault_plan,
+        metrics=metrics,
     )
     # Whole-run entries are written only for runs whose payload is the
     # spec's canonical result: no transient worker failures (those must

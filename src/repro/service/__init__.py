@@ -3,13 +3,20 @@
 Exposes :class:`~repro.service.server.RunService` and the
 :func:`~repro.service.server.serve` entry point: a stdlib
 ``ThreadingHTTPServer`` accepting :class:`~repro.runs.spec.RunSpec`
-documents on ``POST /v1/runs``, answering ``GET /v1/runs/<id>`` and
-``GET /v1/health``, all backed by a bounded worker pool over
+documents on ``POST /v1/runs``, answering ``GET /v1/runs/<id>``,
+``GET /v1/health``, ``GET /v1/metrics`` (Prometheus text format),
+``GET /v1/runs/<id>/events`` (SSE progress) and ``DELETE
+/v1/runs/<id>`` (cancellation), all backed by a persistent prioritised
+job queue (:mod:`repro.service.queue`) drained by worker threads over
 :func:`repro.runs.execute.execute` and the shared content-addressed
 result cache.
 """
 
+from .events import EventBroker, EventChannel, format_sse
+from .metrics import MetricsRegistry, parse_prometheus_text
+from .queue import DEFAULT_PRIORITY, Job, JobQueue
 from .server import (
+    CancelConflict,
     RunRequestHandler,
     RunService,
     ServiceBusy,
@@ -19,10 +26,19 @@ from .server import (
 )
 
 __all__ = [
+    "CancelConflict",
+    "DEFAULT_PRIORITY",
+    "EventBroker",
+    "EventChannel",
+    "Job",
+    "JobQueue",
+    "MetricsRegistry",
     "RunRequestHandler",
     "RunService",
     "ServiceBusy",
     "ServiceDraining",
     "create_server",
+    "format_sse",
+    "parse_prometheus_text",
     "serve",
 ]

@@ -1,0 +1,281 @@
+"""A tiny, dependency-free metrics registry with Prometheus text output.
+
+The service exposes its counters, gauges and histograms on
+``GET /v1/metrics`` in the `Prometheus text exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_, so a
+stock Prometheus (or anything speaking its scrape protocol) can watch a
+``repro serve`` fleet without any new dependency.
+
+Design constraints, in order:
+
+* **Thread-safe** — every handler thread and worker thread bumps the
+  same registry; one lock, no per-metric locking subtleties.
+* **Duck-typed at the call site** — producers (the HTTP handler, the
+  run workers, the campaign executor's collector) only ever call
+  :meth:`MetricsRegistry.inc`, :meth:`~MetricsRegistry.set_gauge` and
+  :meth:`~MetricsRegistry.observe` with a plain metric name and keyword
+  labels.  Nothing outside this module knows about exposition formats,
+  and the campaign executor in particular takes *any* object with an
+  ``inc`` method (or ``None``).
+* **Stable output** — metric families and label sets render in sorted
+  order, so two scrapes of the same state are byte-identical (tests and
+  the CI artifact diff rely on this).
+
+Names are exported under a configurable ``namespace`` prefix
+(``repro_`` by default): producers say ``inc("runs_total", ...)``, the
+scrape says ``repro_runs_total``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "parse_prometheus_text",
+]
+
+#: Run latencies span instant cache hits (<1ms) to multi-minute
+#: verification campaigns; the buckets cover that range log-ish.
+DEFAULT_LATENCY_BUCKETS = (
+    0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+    30.0, 60.0, 120.0, 300.0,
+)
+
+#: ``(sorted (label, value) pairs)`` — the dict key of one labelled series.
+_LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, object]) -> _LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _render_labels(key: _LabelKey, extra: Tuple[Tuple[str, str], ...] = ()) -> str:
+    pairs = key + extra
+    if not pairs:
+        return ""
+    body = ",".join(f'{name}="{_escape(value)}"' for name, value in pairs)
+    return "{" + body + "}"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    # Prometheus accepts floats everywhere; render integral values
+    # without a trailing ".0" for readability.
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class MetricsRegistry:
+    """Thread-safe counter/gauge/histogram registry.
+
+    Metrics may be declared up front with :meth:`describe` (attaching a
+    ``# HELP`` line) or created implicitly on first use — producers
+    never have to check whether the consumer registered anything.
+
+    Args:
+        namespace: prefix prepended to every metric name in the
+            rendered scrape (``repro`` -> ``repro_runs_total``).
+    """
+
+    def __init__(self, namespace: str = "repro") -> None:
+        self._namespace = namespace
+        self._lock = threading.Lock()
+        self._help: Dict[str, str] = {}
+        self._types: Dict[str, str] = {}
+        self._counters: Dict[str, Dict[_LabelKey, float]] = {}
+        self._gauges: Dict[str, Dict[_LabelKey, float]] = {}
+        # histogram name -> (buckets, {labels -> [per-bucket counts, sum, count]})
+        self._histograms: Dict[
+            str, Tuple[Tuple[float, ...], Dict[_LabelKey, List[float]]]
+        ] = {}
+
+    # ------------------------------------------------------------------ #
+    # declaration
+    # ------------------------------------------------------------------ #
+    def describe(self, name: str, help_text: str) -> None:
+        """Attach a ``# HELP`` line to ``name`` (idempotent)."""
+        with self._lock:
+            self._help[name] = help_text
+
+    def declare_histogram(
+        self,
+        name: str,
+        help_text: str,
+        buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
+        """Declare a histogram family and its bucket boundaries."""
+        with self._lock:
+            self._help[name] = help_text
+            self._types.setdefault(name, "histogram")
+            self._histograms.setdefault(
+                name, (tuple(sorted(set(float(b) for b in buckets))), {})
+            )
+
+    # ------------------------------------------------------------------ #
+    # producers
+    # ------------------------------------------------------------------ #
+    def inc(self, name: str, amount: float = 1.0, **labels: object) -> None:
+        """Increment the counter series ``name{labels}`` by ``amount``."""
+        key = _label_key(labels)
+        with self._lock:
+            self._types.setdefault(name, "counter")
+            series = self._counters.setdefault(name, {})
+            series[key] = series.get(key, 0.0) + amount
+
+    def set_gauge(self, name: str, value: float, **labels: object) -> None:
+        """Set the gauge series ``name{labels}`` to ``value``."""
+        key = _label_key(labels)
+        with self._lock:
+            self._types.setdefault(name, "gauge")
+            self._gauges.setdefault(name, {})[key] = float(value)
+
+    def add_gauge(self, name: str, delta: float, **labels: object) -> None:
+        """Add ``delta`` (may be negative) to the gauge ``name{labels}``."""
+        key = _label_key(labels)
+        with self._lock:
+            self._types.setdefault(name, "gauge")
+            series = self._gauges.setdefault(name, {})
+            series[key] = series.get(key, 0.0) + delta
+
+    def observe(self, name: str, value: float, **labels: object) -> None:
+        """Record ``value`` into the histogram series ``name{labels}``."""
+        key = _label_key(labels)
+        with self._lock:
+            self._types.setdefault(name, "histogram")
+            buckets, series = self._histograms.setdefault(
+                name, (tuple(DEFAULT_LATENCY_BUCKETS), {})
+            )
+            state = series.get(key)
+            if state is None:
+                state = series[key] = [0.0] * len(buckets) + [0.0, 0.0]
+            for index, bound in enumerate(buckets):
+                if value <= bound:
+                    state[index] += 1.0
+            state[-2] += float(value)  # _sum
+            state[-1] += 1.0  # _count
+
+    # ------------------------------------------------------------------ #
+    # consumers
+    # ------------------------------------------------------------------ #
+    def value(self, name: str, **labels: object) -> Optional[float]:
+        """Current value of a counter/gauge series (``None`` if unset)."""
+        key = _label_key(labels)
+        with self._lock:
+            if name in self._counters:
+                return self._counters[name].get(key)
+            if name in self._gauges:
+                return self._gauges[name].get(key)
+        return None
+
+    def render(self) -> str:
+        """The full scrape document (Prometheus text format, version 0.0.4)."""
+        with self._lock:
+            lines: List[str] = []
+            for name in sorted(self._types):
+                full = f"{self._namespace}_{name}" if self._namespace else name
+                kind = self._types[name]
+                help_text = self._help.get(name)
+                if help_text:
+                    lines.append(f"# HELP {full} {_escape(help_text)}")
+                lines.append(f"# TYPE {full} {kind}")
+                if kind == "counter":
+                    for key in sorted(self._counters.get(name, {})):
+                        value = self._counters[name][key]
+                        lines.append(f"{full}{_render_labels(key)} {_format_value(value)}")
+                elif kind == "gauge":
+                    for key in sorted(self._gauges.get(name, {})):
+                        value = self._gauges[name][key]
+                        lines.append(f"{full}{_render_labels(key)} {_format_value(value)}")
+                else:  # histogram
+                    buckets, series = self._histograms.get(name, ((), {}))
+                    for key in sorted(series):
+                        state = series[key]
+                        for index, bound in enumerate(buckets):
+                            le = _format_value(bound)
+                            lines.append(
+                                f"{full}_bucket{_render_labels(key, (('le', le),))} "
+                                f"{_format_value(state[index])}"
+                            )
+                        lines.append(
+                            f"{full}_bucket{_render_labels(key, (('le', '+Inf'),))} "
+                            f"{_format_value(state[-1])}"
+                        )
+                        lines.append(
+                            f"{full}_sum{_render_labels(key)} {_format_value(state[-2])}"
+                        )
+                        lines.append(
+                            f"{full}_count{_render_labels(key)} {_format_value(state[-1])}"
+                        )
+            return "\n".join(lines) + "\n" if lines else ""
+
+
+def parse_prometheus_text(text: str) -> Dict[str, Dict[str, float]]:
+    """Parse a text-format scrape into ``{series: {labels-string: value}}``.
+
+    A deliberately strict little parser used by the tests and the load
+    harness to assert the scrape is well-formed: every non-comment line
+    must be ``name[{labels}] value``, every ``# TYPE`` must precede its
+    samples, and histogram ``_count`` must equal the ``+Inf`` bucket.
+    Raises :class:`ValueError` on any malformed line.
+    """
+    samples: Dict[str, Dict[str, float]] = {}
+    typed: Dict[str, str] = {}
+    for line_number, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            if len(line.split(None, 3)) < 4:
+                raise ValueError(f"line {line_number}: malformed HELP: {line!r}")
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in ("counter", "gauge", "histogram"):
+                raise ValueError(f"line {line_number}: malformed TYPE: {line!r}")
+            typed[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        name_part, _, value_part = line.rpartition(" ")
+        if not name_part:
+            raise ValueError(f"line {line_number}: no value: {line!r}")
+        try:
+            value = float(value_part)
+        except ValueError:
+            raise ValueError(
+                f"line {line_number}: non-numeric value {value_part!r}"
+            ) from None
+        if "{" in name_part:
+            name, _, labels = name_part.partition("{")
+            if not labels.endswith("}"):
+                raise ValueError(f"line {line_number}: unterminated labels: {line!r}")
+            labels = labels[:-1]
+        else:
+            name, labels = name_part, ""
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in typed:
+                family = name[: -len(suffix)]
+                break
+        if family not in typed:
+            raise ValueError(f"line {line_number}: sample {name!r} has no # TYPE")
+        samples.setdefault(name, {})[labels] = value
+    for family, kind in typed.items():
+        if kind != "histogram":
+            continue
+        buckets = samples.get(f"{family}_bucket", {})
+        counts = samples.get(f"{family}_count", {})
+        for labels, total in counts.items():
+            inf_labels = (labels + "," if labels else "") + 'le="+Inf"'
+            if buckets.get(inf_labels) != total:
+                raise ValueError(
+                    f"histogram {family}: _count {total} != +Inf bucket "
+                    f"{buckets.get(inf_labels)}"
+                )
+    return samples

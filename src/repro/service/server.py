@@ -1,10 +1,13 @@
 """The ``repro serve`` HTTP API: RunSpecs over the wire, stdlib only.
 
-Three endpoints, all JSON::
+Endpoints (JSON unless noted)::
 
-    GET  /v1/health          liveness + version + queue counters
-    POST /v1/runs            submit a RunSpec document, get a run id
-    GET  /v1/runs/<id>       status / result of a submitted run
+    GET    /v1/health               liveness + version + queue counters
+    GET    /v1/metrics              Prometheus text-format scrape
+    POST   /v1/runs                 submit a RunSpec document, get a run id
+    GET    /v1/runs/<id>            status / result of a submitted run
+    DELETE /v1/runs/<id>            cancel a still-queued run
+    GET    /v1/runs/<id>/events     SSE progress stream (text/event-stream)
 
 The run id is the *content-addressed cache key* of the submitted spec
 (:func:`repro.runs.cache.cache_key`): submitting the same spec twice —
@@ -14,32 +17,50 @@ shared :class:`~repro.runs.cache.ResultCache`), the second answers
 ``done`` instantly from the cache.
 
 The server is a :class:`http.server.ThreadingHTTPServer` (one thread per
-connection, no new dependencies) in front of a *bounded* worker pool: at
-most ``workers`` runs execute concurrently, later submissions queue.
-Every run goes through the same :func:`repro.runs.execute.execute` code
-path as the CLI, tests and benchmarks.
+connection, no new dependencies) in front of a **persistent job queue**
+(:class:`~repro.service.queue.JobQueue`): submissions enqueue with an
+optional priority, a fixed pool of worker threads drains the queue, and
+— when a result cache is attached — every lifecycle transition is
+journaled to ``<cache>/queue/journal.jsonl`` so a restarted server
+re-queues the jobs that were in flight when the previous process died.
+Because run ids are content-addressed, replaying a job that had already
+completed is a free cache hit.  Queue position and priority are
+execution context only: they never enter a spec, a run id or a cache
+key, so results stay byte-identical to a direct
+:func:`repro.runs.execute.execute` call.
+
+Every run goes through that same :func:`~repro.runs.execute.execute`
+code path as the CLI, tests and benchmarks.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import re
 import signal
+import sys
 import threading
-from concurrent.futures import ThreadPoolExecutor
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from time import perf_counter
 from typing import Dict, Optional, Tuple, Union
+from urllib.parse import urlsplit
 
 from .. import __version__
 from ..runs.cache import ResultCache, as_result_cache, cache_key
 from ..runs.execute import execute
 from ..runs.spec import RunSpec, spec_from_jsonable
+from .events import EventBroker, format_sse
+from .metrics import MetricsRegistry
+from .queue import DEFAULT_PRIORITY, JobQueue
 
 __all__ = [
     "RunService",
     "RunRequestHandler",
     "ServiceBusy",
     "ServiceDraining",
+    "CancelConflict",
     "create_server",
     "serve",
 ]
@@ -58,6 +79,13 @@ class ServiceDraining(Exception):
     off instead of hammering a server that is about to exit.
     """
 
+
+class CancelConflict(Exception):
+    """Raised by :meth:`RunService.cancel` for a run that cannot be
+    cancelled — it is already running (a worker thread cannot be killed
+    safely) or already settled.  The HTTP layer answers ``409``.
+    """
+
 #: Maximal accepted request body (a spec is tiny; anything bigger is abuse).
 MAX_BODY_BYTES = 1 << 20
 
@@ -66,25 +94,30 @@ MAX_BODY_BYTES = 1 << 20
 #: unvalidated).
 _RUN_ID_RE = re.compile(r"^[0-9a-f]{64}$")
 
+#: Statuses that count as settled (terminal) in the run registry.
+_SETTLED = ("done", "error", "cancelled")
+
 
 class RunService:
-    """Run registry + bounded execution pool behind the HTTP handler.
+    """Run registry + persistent job queue behind the HTTP handler.
 
     Args:
         cache: result cache (path or instance) shared with :func:`execute`;
             ``None`` keeps results in memory only.
-        workers: maximal number of concurrently executing runs.
+        workers: number of worker threads draining the job queue (the
+            maximal number of concurrently executing runs).
         jobs: worker *processes* each campaign-backed run may use.
         shards: frontier shards per model-checking cell (within-cell
             parallelism; byte-identical results, so not part of any run
             id).
         max_runs: bound on the in-memory run registry; when exceeded,
-            the oldest *settled* (done/error) entries are dropped.  With
-            a cache attached, dropped ``done`` runs remain answerable —
-            their run id is their cache key.  The same bound caps the
-            *unsettled* backlog: once ``max_runs`` runs are queued or
-            running, new submissions raise :class:`ServiceBusy`
-            (HTTP 429) instead of growing the queue without limit.
+            the oldest *settled* (done/error/cancelled) entries are
+            dropped.  With a cache attached, dropped ``done`` runs
+            remain answerable — their run id is their cache key.  The
+            same bound caps the *unsettled* backlog: once ``max_runs``
+            runs are queued or running, new submissions raise
+            :class:`ServiceBusy` (HTTP 429) instead of growing the
+            queue without limit.
         run_timeout: optional per-run deadline in seconds, forwarded to
             :func:`~repro.runs.execute.execute` — a hung run is killed
             and surfaced as a retryable ``DeadlineExceeded`` error
@@ -97,6 +130,11 @@ class RunService:
             execution stack (chaos-testing context only).
         retry_after_s: advisory back-off, in seconds, sent to clients in
             the ``Retry-After`` header of 429/503 responses.
+        queue_journal: path of the queue's JSONL journal.  Defaults to
+            ``<cache>/queue/journal.jsonl`` when a cache is attached
+            (``persist_queue=False`` disables even that); without a
+            cache the queue is memory-only.
+        persist_queue: allow the default journal derivation above.
     """
 
     def __init__(
@@ -110,6 +148,8 @@ class RunService:
         retry=None,
         fault_plan=None,
         retry_after_s: float = 5.0,
+        queue_journal: Optional[str] = None,
+        persist_queue: bool = True,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -134,13 +174,93 @@ class RunService:
         self._retry = retry
         self._fault_plan = fault_plan
         self.retry_after_s = retry_after_s
-        self._pool = ThreadPoolExecutor(
-            max_workers=workers, thread_name_prefix="repro-run"
-        )
         self._lock = threading.Lock()
         self._idle = threading.Condition(self._lock)
         self._draining = False
         self._runs: Dict[str, Dict[str, object]] = {}
+
+        self.metrics = MetricsRegistry()
+        self._declare_metrics()
+        self.events = EventBroker(max_channels=max(max_runs, 16))
+        if queue_journal is None and persist_queue and self._cache is not None:
+            queue_journal = os.path.join(self._cache.root, "queue", "journal.jsonl")
+        self._queue = JobQueue(journal_path=queue_journal)
+        self._recover_queue()
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, name=f"repro-run-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for thread in self._workers:
+            thread.start()
+
+    def _declare_metrics(self) -> None:
+        m = self.metrics
+        m.describe("http_requests_total", "HTTP requests by method, endpoint and status")
+        m.describe("runs_submitted_total", "Accepted POST /v1/runs submissions by outcome")
+        m.describe("runs_total", "Settled runs by final status")
+        m.describe("runs_executed_total", "Runs that actually executed (not served from cache)")
+        m.describe("cache_hits_total", "Whole-run result-cache hits")
+        m.describe("cache_misses_total", "Whole-run result-cache misses")
+        m.describe(
+            "campaign_units_total",
+            "Campaign units settled by status (fed by the campaign executor)",
+        )
+        m.describe("queue_depth", "Jobs queued and not yet dispatched to a worker")
+        m.describe("runs_inflight", "Runs currently executing on a worker thread")
+        m.declare_histogram("run_duration_seconds", "Run execution latency in seconds")
+        # Pre-touch the series a dashboard always wants visible, so a
+        # fresh scrape exposes explicit zeroes instead of absent metrics.
+        m.inc("cache_hits_total", 0)
+        m.inc("cache_misses_total", 0)
+        m.inc("runs_executed_total", 0)
+        m.set_gauge("queue_depth", 0)
+        m.set_gauge("runs_inflight", 0)
+
+    # ------------------------------------------------------------------ #
+    # queue plumbing
+    # ------------------------------------------------------------------ #
+    def _recover_queue(self) -> None:
+        """Re-submit jobs left unsettled by a previous process.
+
+        Runs once at construction, before the worker threads start.
+        Completed-but-unsettled jobs (the crash hit between the cache
+        write and the journal settle) resolve instantly as cache hits;
+        genuinely interrupted jobs re-execute.  A job whose spec no
+        longer parses (e.g. a version upgrade changed the schema) is
+        settled as ``error`` so it stops recovering forever.
+        """
+        for job in self._queue.recover():
+            try:
+                view, _created = self.submit(job.document, priority=job.priority)
+            except (TypeError, ValueError):
+                self._queue.settle(job.run_id, "error")
+                continue
+            except ServiceBusy:
+                break  # remaining jobs stay journaled for the next restart
+            if view["status"] == "done":
+                # Served straight from the cache: journal the settlement
+                # the previous process never got to write.
+                self._queue.settle(str(view["run_id"]), "done")
+
+    def _worker_loop(self) -> None:
+        # pop() returns None either on timeout (loop and re-check) or —
+        # once the queue is closed — only after the backlog is drained,
+        # so shutdown lets already-queued runs finish, matching drain().
+        while True:
+            job = self._queue.pop(timeout=0.2)
+            if job is None:
+                if self._queue.closed:
+                    return
+                continue
+            self.metrics.set_gauge("queue_depth", self._queue.depth)
+            try:
+                spec = spec_from_jsonable(job.document)
+            except (TypeError, ValueError) as exc:
+                self._settle_error(job.run_id, exc, retryable=False)
+                continue
+            self._run(job.run_id, spec)
 
     # ------------------------------------------------------------------ #
     # public operations (one per endpoint)
@@ -174,27 +294,40 @@ class RunService:
             "status": state,
             "version": __version__,
             "cache": self._cache.root if self._cache is not None else None,
+            "queue": {
+                "depth": self._queue.depth,
+                "journal": self._queue.journal_path,
+            },
             "runs": by_status,
         }
 
-    def submit(self, document: Dict[str, object]) -> Tuple[Dict[str, object], bool]:
+    def scrape(self) -> str:
+        """The Prometheus text-format document for ``GET /v1/metrics``."""
+        self.metrics.set_gauge("queue_depth", self._queue.depth)
+        return self.metrics.render()
+
+    def submit(
+        self, document: Dict[str, object], priority: int = DEFAULT_PRIORITY
+    ) -> Tuple[Dict[str, object], bool]:
         """Handle ``POST /v1/runs``; returns ``(response, created)``.
 
         ``created`` is ``False`` when the spec was already known — either
         running/queued in this process or completed in the shared cache —
-        in which case no new work is scheduled.
+        in which case no new work is scheduled.  ``priority`` orders the
+        queue (higher first; ties dispatch in submission order) and is
+        pure execution context: it never affects the run id or payload.
         """
         spec = spec_from_jsonable(document)
         run_id = cache_key(spec)
 
         def _reusable_entry() -> Optional[Dict[str, object]]:
-            # An errored or transiently-failed run (worker death, disk
-            # full) is NOT reusable: a re-submission schedules a fresh
-            # attempt instead of pinning the stale failure forever.
+            # An errored, transiently-failed (worker death, disk full)
+            # or cancelled run is NOT reusable: a re-submission schedules
+            # a fresh attempt instead of pinning the stale outcome.
             entry = self._runs.get(run_id)
             if (
                 entry is not None
-                and entry["status"] != "error"
+                and entry["status"] not in ("error", "cancelled")
                 and not entry.get("retryable", False)
             ):
                 return entry
@@ -208,6 +341,7 @@ class RunService:
                 )
             entry = _reusable_entry()
             if entry is not None:
+                self.metrics.inc("runs_submitted_total", outcome="deduplicated")
                 return self._view(run_id, entry), False
         # The result-cache lookup is disk I/O — do it outside the lock
         # so health/status requests are never stalled behind it.
@@ -219,6 +353,9 @@ class RunService:
             # only "payload") from masquerading as completed runs.
             if stored is not None and not ("payload" in stored and "spec" in stored):
                 stored = None
+            self.metrics.inc(
+                "cache_hits_total" if stored is not None else "cache_misses_total"
+            )
         with self._lock:
             if self._draining:  # drain may have started during the lookup
                 raise ServiceDraining(
@@ -227,6 +364,7 @@ class RunService:
                 )
             entry = _reusable_entry()  # another thread may have raced us
             if entry is not None:
+                self.metrics.inc("runs_submitted_total", outcome="deduplicated")
                 return self._view(run_id, entry), False
             if stored is not None:
                 entry = {
@@ -249,13 +387,28 @@ class RunService:
                     "result": None,
                     "error": None,
                     "cached": False,
+                    "priority": priority,
                 }
             self._runs.pop(run_id, None)  # re-insert at the tail (newest)
             self._runs[run_id] = entry
             self._prune_locked()
         if stored is not None:
+            self.metrics.inc("runs_submitted_total", outcome="cached")
+            self.events.publish(
+                run_id, "status", {"run_id": run_id, "status": "done", "cached": True},
+                terminal=True,
+            )
             return self._view(run_id, entry), False
-        self._pool.submit(self._run, run_id, spec)
+        self.metrics.inc("runs_submitted_total", outcome="created")
+        # A re-submitted errored/cancelled run left a *closed* channel
+        # behind; drop it so the fresh lifecycle is actually published.
+        self.events.reset(run_id)
+        self.events.publish(
+            run_id, "status",
+            {"run_id": run_id, "status": "queued", "priority": priority},
+        )
+        self._queue.submit(run_id, spec.to_jsonable(), priority=priority)
+        self.metrics.set_gauge("queue_depth", self._queue.depth)
         return self._view(run_id, entry), True
 
     def status(self, run_id: str) -> Optional[Dict[str, object]]:
@@ -289,6 +442,37 @@ class RunService:
                 return self._view(run_id, entry)
         return None
 
+    def cancel(self, run_id: str) -> Optional[Dict[str, object]]:
+        """Handle ``DELETE /v1/runs/<id>``.
+
+        Cancels a still-queued run and returns its view; returns
+        ``None`` for an unknown id (404) and raises
+        :class:`CancelConflict` (409) for a run that is already running
+        or settled.
+        """
+        if not _RUN_ID_RE.fullmatch(run_id):
+            return None
+        with self._idle:
+            entry = self._runs.get(run_id)
+            if entry is None:
+                return None
+            status = str(entry["status"])
+            if status != "queued" or not self._queue.cancel(run_id):
+                # Either it was never queued, or a worker popped it in
+                # the window between our check and the queue's.
+                raise CancelConflict(
+                    f"run is {status}: only queued runs can be cancelled"
+                )
+            entry["status"] = "cancelled"
+            view = self._view(run_id, entry)
+            self._idle.notify_all()
+        self.metrics.inc("runs_total", status="cancelled")
+        self.metrics.set_gauge("queue_depth", self._queue.depth)
+        self.events.publish(
+            run_id, "status", {"run_id": run_id, "status": "cancelled"}, terminal=True
+        )
+        return view
+
     def drain(self) -> None:
         """Enter graceful-drain mode (idempotent).
 
@@ -319,9 +503,11 @@ class RunService:
             )
 
     def shutdown(self) -> None:
-        """Stop accepting work and wait for in-flight runs."""
+        """Stop accepting work, finish queued/in-flight runs, stop workers."""
         self.drain()
-        self._pool.shutdown(wait=True)
+        self._queue.close()
+        for thread in self._workers:
+            thread.join()
 
     # ------------------------------------------------------------------ #
     # internals
@@ -336,13 +522,54 @@ class RunService:
         if excess <= 0:
             return
         for run_id in [
-            rid for rid, e in self._runs.items() if e["status"] in ("done", "error")
+            rid for rid, e in self._runs.items() if e["status"] in _SETTLED
         ][:excess]:
             del self._runs[run_id]
 
+    def _settle_error(self, run_id: str, exc: BaseException, retryable: bool) -> None:
+        with self._idle:
+            entry = self._runs.get(run_id)
+            if entry is not None:
+                entry.update(
+                    status="error",
+                    error={"type": type(exc).__name__, "message": str(exc)},
+                    retryable=retryable,
+                )
+            self._idle.notify_all()
+        self._queue.settle(run_id, "error")
+        self.metrics.inc("runs_total", status="error")
+        self.events.publish(
+            run_id, "status",
+            {"run_id": run_id, "status": "error", "error": type(exc).__name__},
+            terminal=True,
+        )
+
     def _run(self, run_id: str, spec: RunSpec) -> None:
         with self._lock:
-            self._runs[run_id]["status"] = "running"
+            entry = self._runs.get(run_id)
+            if entry is None or entry["status"] != "queued":
+                # Cancelled (or pruned) between pop and dispatch.
+                self._queue.settle(run_id, "skipped")
+                return
+            entry["status"] = "running"
+        self.events.publish(run_id, "status", {"run_id": run_id, "status": "running"})
+        self.metrics.add_gauge("runs_inflight", 1)
+        started = perf_counter()
+
+        def _progress(done: int, total: int, record: Dict[str, object]) -> None:
+            # Campaign unit-completion tick (verify/experiment kinds):
+            # long runs stream their progress instead of going dark.
+            self.events.publish(
+                run_id,
+                "progress",
+                {
+                    "done": done,
+                    "total": total,
+                    "unit_id": record.get("unit_id"),
+                    "status": record.get("status"),
+                },
+            )
+
         try:
             if self._fault_plan is not None:
                 # Named injection site of the service's own run loop
@@ -360,32 +587,48 @@ class RunService:
                 timeout=self._run_timeout,
                 retry=self._retry,
                 fault_plan=self._fault_plan,
+                progress=_progress,
+                metrics=self.metrics,
             )
         except Exception as exc:  # noqa: BLE001 - surfaced to the client
-            with self._idle:
-                self._runs[run_id].update(
-                    status="error",
-                    error={"type": type(exc).__name__, "message": str(exc)},
-                    retryable=bool(getattr(exc, "retryable", False)),
-                )
-                self._idle.notify_all()
+            self.metrics.add_gauge("runs_inflight", -1)
+            self.metrics.observe("run_duration_seconds", perf_counter() - started)
+            self._settle_error(run_id, exc, retryable=bool(getattr(exc, "retryable", False)))
             return
+        duration = perf_counter() - started
         with self._idle:
-            self._runs[run_id].update(
-                status="done",
-                result=result.payload,
-                cached=result.cached,
-                retryable=not result.deterministic,
-            )
+            entry = self._runs.get(run_id)
+            if entry is not None:
+                entry.update(
+                    status="done",
+                    result=result.payload,
+                    cached=result.cached,
+                    retryable=not result.deterministic,
+                )
             self._idle.notify_all()
+        self._queue.settle(run_id, "done")
+        self.metrics.add_gauge("runs_inflight", -1)
+        self.metrics.observe("run_duration_seconds", duration)
+        self.metrics.inc("runs_total", status="done")
+        if not result.cached:
+            self.metrics.inc("runs_executed_total")
+        self.events.publish(
+            run_id, "status",
+            {"run_id": run_id, "status": "done", "cached": result.cached},
+            terminal=True,
+        )
 
-    @staticmethod
-    def _view(run_id: str, entry: Dict[str, object]) -> Dict[str, object]:
+    def _view(self, run_id: str, entry: Dict[str, object]) -> Dict[str, object]:
         view: Dict[str, object] = {
             "run_id": run_id,
             "status": entry["status"],
             "cached": entry.get("cached", False),
         }
+        if entry["status"] == "queued":
+            view["priority"] = entry.get("priority", DEFAULT_PRIORITY)
+            position = self._queue.position(run_id)
+            if position is not None:
+                view["queue_position"] = position
         if entry["status"] == "done":
             view["result"] = entry["result"]
         if entry["status"] == "error":
@@ -400,13 +643,71 @@ class RunRequestHandler(BaseHTTPRequestHandler):
     service: RunService = None  # type: ignore[assignment]
     #: Silence per-request stderr logging unless enabled.
     verbose = False
+    #: Emit one structured JSON log line per request to stderr.
+    log_json = False
 
     server_version = f"repro-serve/{__version__}"
     protocol_version = "HTTP/1.1"
 
     # -- plumbing ------------------------------------------------------- #
+    def handle_one_request(self) -> None:
+        """Stamp the request start time for latency in structured logs."""
+        self._request_started = perf_counter()
+        super().handle_one_request()
+
+    @staticmethod
+    def _route_label(path: str) -> str:
+        """Collapse a concrete path to a bounded metrics label.
+
+        Raw paths embed 64-hex run ids (unbounded label cardinality
+        would bloat the scrape), so ids are replaced by a placeholder.
+        """
+        path = urlsplit(path).path.rstrip("/") or "/"
+        if path == "/v1/health":
+            return "/v1/health"
+        if path == "/v1/metrics":
+            return "/v1/metrics"
+        if path == "/v1/runs":
+            return "/v1/runs"
+        if path.startswith("/v1/runs/"):
+            if path.endswith("/events"):
+                return "/v1/runs/{id}/events"
+            return "/v1/runs/{id}"
+        return "other"
+
+    def log_request(self, code: object = "-", size: object = "-") -> None:
+        """Per-request accounting: metrics always, JSON log line opt-in."""
+        try:
+            status = int(str(code))
+        except ValueError:  # pragma: no cover - non-numeric stdlib codes
+            status = 0
+        if self.service is not None:
+            self.service.metrics.inc(
+                "http_requests_total",
+                method=self.command or "?",
+                endpoint=self._route_label(self.path or "/"),
+                status=status,
+            )
+        if self.log_json:
+            started = getattr(self, "_request_started", None)
+            document = {
+                "ts": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+                "client": self.client_address[0] if self.client_address else None,
+                "method": self.command,
+                "path": self.path,
+                "status": status,
+                "duration_ms": (
+                    round((perf_counter() - started) * 1000.0, 3)
+                    if started is not None
+                    else None
+                ),
+            }
+            print(json.dumps(document, sort_keys=True), file=sys.stderr, flush=True)
+        if self.verbose:  # pragma: no cover - debug aid
+            super().log_request(code, size)
+
     def log_message(self, format: str, *args: object) -> None:  # noqa: A002
-        """Suppress per-request stderr logging unless ``verbose`` is set."""
+        """Suppress stdlib stderr logging unless ``verbose`` is set."""
         if self.verbose:  # pragma: no cover - debug aid
             super().log_message(format, *args)
 
@@ -463,12 +764,28 @@ class RunRequestHandler(BaseHTTPRequestHandler):
             return None
         return document
 
+    def _request_path(self) -> str:
+        """The routable path: query string split off, trailing ``/`` folded.
+
+        ``GET /v1/health?probe=lb`` must route exactly like
+        ``GET /v1/health`` — load balancers and scrapers routinely
+        append query parameters, and the router must never 404 on them.
+        """
+        return urlsplit(self.path).path.rstrip("/") or "/"
+
     # -- endpoints ------------------------------------------------------ #
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
-        """Serve ``/v1/health`` and ``/v1/runs/<run_id>`` status lookups."""
-        path = self.path.rstrip("/") or "/"
+        """Serve health, metrics, run-status and SSE event-stream GETs."""
+        path = self._request_path()
         if path == "/v1/health":
             self._send_json(200, self.service.health())
+            return
+        if path == "/v1/metrics":
+            self._send_metrics()
+            return
+        if path.startswith("/v1/runs/") and path.endswith("/events"):
+            run_id = path[len("/v1/runs/"):-len("/events")]
+            self._send_event_stream(run_id)
             return
         if path.startswith("/v1/runs/"):
             run_id = path[len("/v1/runs/"):]
@@ -480,19 +797,69 @@ class RunRequestHandler(BaseHTTPRequestHandler):
             return
         self._send_error_json(404, f"no such endpoint: GET {self.path}")
 
+    def _send_metrics(self) -> None:
+        body = self.service.scrape().encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_event_stream(self, run_id: str) -> None:
+        """Stream a run's lifecycle as server-sent events.
+
+        The stream replays the run's full event history, then follows
+        live events until a terminal status closes the channel.  The
+        connection is always closed at the end (SSE responses have no
+        Content-Length, so the framing *is* the close).
+        """
+        view = self.service.status(run_id)
+        if view is None:
+            self._send_error_json(404, f"unknown run id {run_id!r}")
+            return
+        channel = self.service.events.channel(run_id)
+        if not channel.closed and view["status"] in _SETTLED:
+            # The run settled before anyone published on its channel
+            # (e.g. served from a previous process's cache): synthesise
+            # the terminal event so subscribers see a complete story.
+            channel.publish(
+                "status",
+                {"run_id": run_id, "status": view["status"], "cached": view.get("cached", False)},
+                terminal=True,
+            )
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        self.send_header("Connection", "close")
+        self.close_connection = True
+        self.end_headers()
+        try:
+            for event_id, event, data in channel.subscribe():
+                self.wfile.write(format_sse(event_id, event, data))
+                self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
+            return  # client went away; nothing to clean up
+
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
         """Accept a spec at ``/v1/runs`` and enqueue (or replay) the run."""
-        if self.path.rstrip("/") != "/v1/runs":
+        if self._request_path() != "/v1/runs":
             self._send_error_json(404, f"no such endpoint: POST {self.path}")
             return
         document = self._read_json_body()
         if document is None:
             return
-        # Accept either the bare spec document or {"spec": {...}}.
+        # Accept either the bare spec document or {"spec": {...}} — the
+        # wrapped form may carry execution context like "priority".
+        priority = DEFAULT_PRIORITY
         if "spec" in document and isinstance(document["spec"], dict):
+            raw_priority = document.get("priority", DEFAULT_PRIORITY)
+            if not isinstance(raw_priority, int) or isinstance(raw_priority, bool):
+                self._send_error_json(400, "priority must be an integer")
+                return
+            priority = raw_priority
             document = document["spec"]
         try:
-            view, created = self.service.submit(document)
+            view, created = self.service.submit(document, priority=priority)
         except ServiceBusy as exc:
             self._send_error_json(
                 429, str(exc), retry_after_s=self.service.retry_after_s
@@ -508,6 +875,23 @@ class RunRequestHandler(BaseHTTPRequestHandler):
             return
         self._send_json(202 if created else 200, view)
 
+    def do_DELETE(self) -> None:  # noqa: N802 - stdlib naming
+        """Cancel a queued run at ``/v1/runs/<id>``."""
+        path = self._request_path()
+        if not path.startswith("/v1/runs/") or path.endswith("/events"):
+            self._send_error_json(404, f"no such endpoint: DELETE {self.path}")
+            return
+        run_id = path[len("/v1/runs/"):]
+        try:
+            view = self.service.cancel(run_id)
+        except CancelConflict as exc:
+            self._send_error_json(409, str(exc))
+            return
+        if view is None:
+            self._send_error_json(404, f"unknown run id {run_id!r}")
+            return
+        self._send_json(200, view)
+
 
 def create_server(
     host: str = "127.0.0.1",
@@ -520,6 +904,7 @@ def create_server(
     shards: int = 1,
     run_timeout: Optional[float] = None,
     verbose: bool = False,
+    log_json: bool = False,
 ) -> ThreadingHTTPServer:
     """Build a ready-to-run server (callers own ``serve_forever``).
 
@@ -534,7 +919,7 @@ def create_server(
     handler = type(
         "BoundRunRequestHandler",
         (RunRequestHandler,),
-        {"service": service, "verbose": verbose},
+        {"service": service, "verbose": verbose, "log_json": log_json},
     )
     server = ThreadingHTTPServer((host, port), handler)
     server.daemon_threads = True
@@ -552,6 +937,7 @@ def serve(
     run_timeout: Optional[float] = None,
     drain_grace_s: float = 30.0,
     verbose: bool = False,
+    log_json: bool = False,
 ) -> int:
     """Run the API server until interrupted (the ``repro serve`` core).
 
@@ -559,14 +945,15 @@ def serve(
     graceful drain: new submissions get 503 + ``Retry-After`` while
     in-flight runs are given ``drain_grace_s`` seconds to settle, then
     the listener stops and the process exits.  ``run_timeout`` bounds
-    each run's execution (see :class:`RunService`).
+    each run's execution (see :class:`RunService`).  ``log_json`` emits
+    one structured JSON log line per request to stderr.
     """
     service = RunService(
         cache=cache, workers=workers, jobs=jobs, shards=shards,
         run_timeout=run_timeout,
     )
     server = create_server(
-        host, port, service=service, verbose=verbose
+        host, port, service=service, verbose=verbose, log_json=log_json
     )
 
     def _drain_and_stop(signum, frame) -> None:  # pragma: no cover - signal path
@@ -585,10 +972,12 @@ def serve(
     except ValueError:  # pragma: no cover - non-main-thread embedding
         pass
     bound_host, bound_port = server.server_address[:2]
+    journal = service._queue.journal_path
     print(f"repro serve: listening on http://{bound_host}:{bound_port} "
           f"(workers={workers}, jobs={jobs}, shards={shards}, "
           f"timeout={run_timeout if run_timeout is not None else 'none'}, "
-          f"cache={service.health()['cache'] or 'disabled'})")
+          f"cache={service.health()['cache'] or 'disabled'}, "
+          f"queue={'persistent:' + journal if journal else 'memory'})")
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive only

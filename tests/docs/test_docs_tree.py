@@ -44,6 +44,7 @@ class TestLinks:
         "verification.md",
         "performance.md",
         "robustness.md",
+        "service.md",
         "cli.md",
     )
 

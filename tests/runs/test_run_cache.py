@@ -2,6 +2,7 @@
 
 import json
 import os
+import threading
 import time
 
 import pytest
@@ -183,3 +184,105 @@ class TestCampaignDeduplication:
             report_b = run_campaign(campaign, lambda unit: {"which": "B"}, cache=cache)
         assert report_b.records[0]["payload"] == {"which": "B"}
         assert report_b.cached == []
+
+
+class TestApproxCountDrift:
+    """Regressions for the incremental-count drift bugs.
+
+    The approximate entry count must track the filesystem: a corrupt
+    entry removed by get() has to decrement it, and two threads putting
+    the same *new* key must count it once, not twice.  Drift in either
+    direction makes a bounded cache evict too early or too late.
+    """
+
+    def test_corrupt_entry_removal_decrements_the_count(self, tmp_path):
+        cache = ResultCache(str(tmp_path), max_entries=10)
+        keys = ["a" * 64, "b" * 64, "c" * 64]
+        for key in keys:
+            cache.put(key, {"payload": 1})
+        assert cache._approx_count == 3
+        path = cache._path(keys[0])
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("{torn")
+        assert cache.get(keys[0]) is None  # corrupt: removed
+        assert cache._approx_count == len(cache) == 2
+
+    def test_concurrent_same_key_puts_count_once(self, tmp_path, monkeypatch):
+        import repro.runs.cache as cache_module
+
+        cache = ResultCache(str(tmp_path), max_entries=10)
+        cache.put("a" * 64, {"payload": 0})  # prime the incremental count
+        assert cache._approx_count == 1
+
+        # Hold both threads at the tmp-file step so each has passed any
+        # pre-write existence check before either replaces the entry —
+        # the interleaving in which the old code double-counted.
+        barrier = threading.Barrier(2, timeout=10)
+        real_mkstemp = cache_module.tempfile.mkstemp
+
+        def rendezvous_mkstemp(*args, **kwargs):
+            result = real_mkstemp(*args, **kwargs)
+            try:
+                barrier.wait()
+            except threading.BrokenBarrierError:  # pragma: no cover
+                pass
+            return result
+
+        monkeypatch.setattr(cache_module.tempfile, "mkstemp", rendezvous_mkstemp)
+        threads = [
+            threading.Thread(target=lambda: cache.put("b" * 64, {"payload": 1}))
+            for _ in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not any(thread.is_alive() for thread in threads)
+        assert len(cache) == 2
+        assert cache._approx_count == 2  # old code: 3
+
+
+class TestNanosecondEviction:
+    """Regression: LRU eviction must order by st_mtime_ns, not seconds.
+
+    With whole-second getmtime, every entry written within one second
+    ties, and eviction order silently degrades to hash-path order.  The
+    mtimes here are frozen to the same second with sub-float-resolution
+    nanosecond offsets, so only a nanosecond-integer comparison can see
+    the true LRU order.
+    """
+
+    BASE_NS = 1_700_000_000 * 10**9
+
+    def _freeze(self, cache, key, offset_ns):
+        os.utime(
+            cache._path(key),
+            ns=(self.BASE_NS + offset_ns, self.BASE_NS + offset_ns),
+        )
+
+    def test_same_second_entries_evict_in_true_lru_order(self, tmp_path):
+        cache = ResultCache(str(tmp_path), max_entries=3)
+        for key in ("a" * 64, "b" * 64, "c" * 64):
+            cache.put(key, {"payload": 1})
+        # Path order says "a" is oldest; nanosecond recency says "c" is.
+        # The offsets are far below float-seconds resolution (~238ns at
+        # this epoch), so getmtime()-based ordering cannot distinguish
+        # them and would fall back to evicting "a".
+        self._freeze(cache, "a" * 64, 30)
+        self._freeze(cache, "b" * 64, 20)
+        self._freeze(cache, "c" * 64, 10)
+        cache.put("d" * 64, {"payload": 1})  # over the bound: evict one
+        remaining = sorted(cache.keys())
+        assert "c" * 64 not in remaining, "true LRU entry must be evicted"
+        assert "a" * 64 in remaining and "b" * 64 in remaining
+
+    def test_identical_timestamps_tie_break_deterministically(self, tmp_path):
+        cache = ResultCache(str(tmp_path))  # unbounded while seeding
+        for key in ("b" * 64, "c" * 64, "a" * 64):
+            cache.put(key, {"payload": 1})
+            self._freeze(cache, key, 0)  # all three truly identical
+        cache.max_entries = 2
+        cache._evict()
+        # Documented tie-break: lexicographic path (= key) order,
+        # lowest key first — fully deterministic on any filesystem.
+        assert sorted(cache.keys()) == ["b" * 64, "c" * 64]

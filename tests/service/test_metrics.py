@@ -1,0 +1,125 @@
+"""Tests for the metrics registry and its Prometheus text rendering."""
+
+import threading
+
+import pytest
+
+from repro.service import MetricsRegistry, parse_prometheus_text
+
+
+class TestCountersAndGauges:
+    def test_counter_accumulates_per_label_set(self):
+        m = MetricsRegistry()
+        m.inc("requests_total", method="GET", status=200)
+        m.inc("requests_total", method="GET", status=200)
+        m.inc("requests_total", method="POST", status=202)
+        assert m.value("requests_total", method="GET", status=200) == 2
+        assert m.value("requests_total", method="POST", status=202) == 1
+        assert m.value("requests_total", method="PUT", status=200) is None
+
+    def test_gauge_set_and_add(self):
+        m = MetricsRegistry()
+        m.set_gauge("depth", 4)
+        m.add_gauge("depth", -1)
+        assert m.value("depth") == 3
+
+    def test_render_is_sorted_and_stable(self):
+        m = MetricsRegistry()
+        m.describe("b_total", "second")
+        m.inc("b_total", endpoint="/x")
+        m.inc("a_total")
+        first = m.render()
+        second = m.render()
+        assert first == second
+        assert first.index("repro_a_total") < first.index("repro_b_total")
+        assert "# HELP repro_b_total second" in first
+        assert "# TYPE repro_a_total counter" in first
+
+    def test_namespace_prefix(self):
+        m = MetricsRegistry(namespace="svc")
+        m.inc("runs_total")
+        assert "svc_runs_total 1" in m.render()
+
+    def test_thread_safety_no_lost_updates(self):
+        m = MetricsRegistry()
+
+        def bump():
+            for _ in range(1000):
+                m.inc("hits_total")
+
+        threads = [threading.Thread(target=bump) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert m.value("hits_total") == 8000
+
+
+class TestHistograms:
+    def test_observation_lands_in_cumulative_buckets(self):
+        m = MetricsRegistry()
+        m.declare_histogram("latency_seconds", "latency", buckets=(0.1, 1.0, 10.0))
+        m.observe("latency_seconds", 0.5)
+        m.observe("latency_seconds", 5.0)
+        m.observe("latency_seconds", 50.0)  # beyond every finite bucket
+        rendered = m.render()
+        samples = parse_prometheus_text(rendered)
+        buckets = samples["repro_latency_seconds_bucket"]
+        assert buckets['le="0.1"'] == 0
+        assert buckets['le="1"'] == 1
+        assert buckets['le="10"'] == 2
+        assert buckets['le="+Inf"'] == 3
+        assert samples["repro_latency_seconds_count"][""] == 3
+        assert samples["repro_latency_seconds_sum"][""] == pytest.approx(55.5)
+
+
+class TestPrometheusTextRoundTrip:
+    def test_full_registry_parses(self):
+        m = MetricsRegistry()
+        m.describe("requests_total", "requests")
+        m.inc("requests_total", method="GET", endpoint="/v1/health", status=200)
+        m.set_gauge("queue_depth", 3)
+        m.declare_histogram("run_seconds", "run latency")
+        m.observe("run_seconds", 0.02)
+        samples = parse_prometheus_text(m.render())
+        key = 'endpoint="/v1/health",method="GET",status="200"'
+        assert samples["repro_requests_total"][key] == 1
+        assert samples["repro_queue_depth"][""] == 3
+
+    def test_label_values_are_escaped(self):
+        m = MetricsRegistry()
+        m.inc("odd_total", path='with"quote', note="line\nbreak")
+        samples = parse_prometheus_text(m.render())
+        assert list(samples["repro_odd_total"].values()) == [1]
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render() == ""
+        assert parse_prometheus_text("") == {}
+
+
+class TestStrictParser:
+    def test_sample_without_type_is_rejected(self):
+        with pytest.raises(ValueError, match="no # TYPE"):
+            parse_prometheus_text("orphan_total 1\n")
+
+    def test_non_numeric_value_is_rejected(self):
+        with pytest.raises(ValueError, match="non-numeric"):
+            parse_prometheus_text("# TYPE x counter\nx banana\n")
+
+    def test_malformed_type_line_is_rejected(self):
+        with pytest.raises(ValueError, match="malformed TYPE"):
+            parse_prometheus_text("# TYPE x summary\n")
+
+    def test_unterminated_labels_are_rejected(self):
+        with pytest.raises(ValueError, match="unterminated"):
+            parse_prometheus_text('# TYPE x counter\nx{a="1" 2\n')
+
+    def test_histogram_count_must_match_inf_bucket(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 2\n'
+            "h_sum 1\n"
+            "h_count 3\n"
+        )
+        with pytest.raises(ValueError, match="_count"):
+            parse_prometheus_text(text)
