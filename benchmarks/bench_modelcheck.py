@@ -1,18 +1,26 @@
-"""Benchmark — packed-state frontier engine (model checker + game solver).
+"""Benchmark — frontier engines (packed + vector) and the game solver.
 
-Times the two hot paths the packed-state rewrite targets — the
-exhaustive model checker's frontier exploration and the E6 adversary
-game solver — and records the speedup against the pre-rewrite committed
-baselines (``benchmarks/baselines.json`` as of the tuple-state engines)
-plus the packed-vs-legacy engine ratio measured live on this host.
+Times the hot paths of the model checker's frontier exploration — once
+per engine backend — and the E6 adversary game solver, and records:
 
-Only ``verify-searching-rc-7x14`` — the *frontier cell*, the first
-``(k, n)`` beyond the previous full-suite frontier, added to the E8
-full suite when the packed engine made its certification routine — is
-emitted as a regression-gated workload: the 6x13 checker cell and the
-game solver are already gated through ``BENCH_e8.json`` /
-``BENCH_e6.json``, so here they are measured inline for the speedup
-table only (one gate per workload).
+* per-backend rows (``-packed`` / ``-vector`` suffixes) for the 7x14
+  verification cell and the 6x15 frontier-throughput cell, so the gated
+  medians pin down each engine separately;
+* ``speedup_vector_vs_packed`` — the live warm-vs-warm engine ratio
+  (both engines share the persistent per-cell plan caches, so this is
+  the pure engine-mechanics ratio, *not* the cold-start ratio);
+* ``states_per_second`` — explored states over the median wall time of
+  every gated row;
+* the speedups against the pre-rewrite committed baselines and the
+  packed-vs-legacy ratio, carried over from the packed-state rewrite.
+
+The unsuffixed ``verify-searching-rc-7x14`` row keeps running on the
+default (``auto``) engine for baseline continuity.  Without NumPy the
+``-vector`` rows degrade to the packed engine (identical verdicts, so
+the assertions still hold) and the vector-vs-packed ratio reads ~1.
+The 6x13 checker cell and the game solver are already gated through
+``BENCH_e8.json`` / ``BENCH_e6.json``, so here they are measured inline
+for the speedup table only (one gate per workload).
 """
 
 import json
@@ -34,14 +42,21 @@ PRE_REWRITE_BASELINE = {
 }
 
 
-def _searching_6x13():
-    result = check_cell("searching", 13, 6)
+def _searching_6x13(engine="auto"):
+    result = check_cell("searching", 13, 6, engine=engine)
     assert result.verdict is Verdict.SOLVED
     return result
 
 
-def _searching_7x14():
-    result = check_cell("searching", 14, 7)
+def _searching_7x14(engine="auto"):
+    result = check_cell("searching", 14, 7, engine=engine)
+    assert result.verdict is Verdict.SOLVED
+    return result
+
+
+def _frontier_6x15(engine="auto"):
+    """The frontier-throughput cell: one (k, n) past the 7x14 frontier cell's k-1 row."""
+    result = check_cell("searching", 15, 6, engine=engine)
     assert result.verdict is Verdict.SOLVED
     return result
 
@@ -68,6 +83,11 @@ def test_frontier_game_solver(benchmark):
     assert result.algorithms_checked == 324
 
 
+def test_frontier_throughput_cell_6x15(benchmark):
+    result = benchmark(_frontier_6x15)
+    assert result.num_states > 500
+
+
 def _median_seconds(workload, repeats=3):
     times = []
     for _ in range(repeats):
@@ -77,13 +97,28 @@ def _median_seconds(workload, repeats=3):
     return statistics.median(times)
 
 
+#: Cells measured once per engine backend (the per-backend gated rows).
+ENGINE_CELLS = {
+    "verify-searching-rc-7x14": _searching_7x14,
+    "frontier-searching-6x15": _frontier_6x15,
+}
+
+
 def main():
     from _harness import emit, safe_rate
 
-    path = emit("modelcheck", {"verify-searching-rc-7x14": _searching_7x14})
+    workloads = {"verify-searching-rc-7x14": _searching_7x14}
+    for cell, workload in ENGINE_CELLS.items():
+        # Bind per iteration (default-arg trick) and measure packed
+        # before vector; repeats share the persistent per-cell caches
+        # either way, so the medians compare warm engine mechanics.
+        workloads[f"{cell}-packed"] = lambda w=workload: w("packed")
+        workloads[f"{cell}-vector"] = lambda w=workload: w("vector")
+    path = emit("modelcheck", workloads)
     with open(path, "r", encoding="utf-8") as handle:
         document = json.load(handle)
     medians = {name: data["median_s"] for name, data in document["workloads"].items()}
+    cell_states = {cell: workload().num_states for cell, workload in ENGINE_CELLS.items()}
     # Already gated via BENCH_e8/BENCH_e6; measured here for the table only.
     medians["verify-searching-rc-6x13"] = _median_seconds(_searching_6x13)
     medians["game-solver-n6-k3"] = _median_seconds(_game_solver_6x3)
@@ -110,12 +145,29 @@ def main():
                 name: round(safe_rate(legacy_s, medians[name]), 2)
                 for name, legacy_s in legacy.items()
             },
+            "speedup_vector_vs_packed": {
+                cell: round(
+                    safe_rate(medians[f"{cell}-packed"], medians[f"{cell}-vector"]), 2
+                )
+                for cell in ENGINE_CELLS
+            },
+            "states_per_second": {
+                f"{cell}-{engine}": round(
+                    safe_rate(cell_states[cell], medians[f"{cell}-{engine}"]), 1
+                )
+                for cell in ENGINE_CELLS
+                for engine in ("packed", "vector")
+            },
             "speedup_note": (
                 "speedup_vs_pre_rewrite compares against the committed "
                 "tuple-state-engine baselines measured on the 1-core "
-                "reference container; packed_vs_legacy_engine is measured "
-                "live on this host (the legacy engine also benefits from "
-                "the shared driver rewrite, so it understates the total)"
+                "reference container; packed_vs_legacy_engine and "
+                "speedup_vector_vs_packed are measured live on this host "
+                "with warm persistent cell caches (engine mechanics only; "
+                "the legacy engine also benefits from the shared driver "
+                "rewrite, so that ratio understates the total). Without "
+                "NumPy the -vector rows degrade to the packed engine and "
+                "speedup_vector_vs_packed reads ~1."
             ),
         }
     )
@@ -124,6 +176,8 @@ def main():
         handle.write("\n")
     for name, ratio in sorted(document["speedup_vs_pre_rewrite"].items()):
         print(f"[bench modelcheck] {name}: {ratio}x vs pre-rewrite baseline")
+    for cell, ratio in sorted(document["speedup_vector_vs_packed"].items()):
+        print(f"[bench modelcheck] {cell}: vector {ratio}x vs packed (warm)")
 
 
 if __name__ == "__main__":

@@ -49,11 +49,78 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tup
 from ..core.configuration import Configuration
 from ..core.errors import SimulationLimitError, UnsupportedParametersError
 from ..core.ring import Ring
-from ..tasks.searching import RingSearchDynamics
+from ..tasks.searching import ring_search_dynamics
 from .enumeration import enumerate_configurations, iter_configurations
 from .graphs import tarjan_scc
 
 __all__ = ["Option", "GameVerdict", "GameResult", "SearchGameSolver", "searching_game_verdict"]
+
+#: Minimum combo-table size before the batched NumPy advance pays for
+#: itself (below this the per-call array overhead beats the memo gets).
+_BATCH_MIN = 24
+
+_VECTOR_FUNCS = None
+
+
+def _vector_funcs():
+    """``(numpy, advance_clear_many)`` when NumPy is usable, else ``None``.
+
+    Imported lazily (and memoised) because :mod:`repro.modelcheck` imports
+    this package at module load; a top-level import here would be circular.
+    Honouring :func:`repro.modelcheck.engines.numpy_or_none` keeps the game
+    solver's batching under the same NumPy-availability switch as the
+    vector frontier engine.
+    """
+    global _VECTOR_FUNCS
+    if _VECTOR_FUNCS is None:
+        try:
+            from ..modelcheck.engines import numpy_or_none
+            from ..modelcheck.vector import advance_clear_many
+        except ImportError:  # pragma: no cover - defensive
+            _VECTOR_FUNCS = False
+        else:
+            np_mod = numpy_or_none()
+            _VECTOR_FUNCS = False if np_mod is None else (np_mod, advance_clear_many)
+    return _VECTOR_FUNCS or None
+
+
+class _ComboTable:
+    """Clear-independent expansion of one ``(positions, targets)`` pair.
+
+    Every activation subset and direction choice yields, independently of
+    the current clear-edge mask, the activated-robot mask, the traversed
+    edges, the successor support mask, the packed positions digits and the
+    successor positions tuple.  The table stores those combos *in the
+    exact enumeration order* of the original per-state loop, truncated at
+    the first collision (``collision`` records that the enumeration would
+    have ended with an adversary win there).  Replaying a table against a
+    concrete clear mask therefore reproduces the serial expansion —
+    including the collision early-exit point and the ``max_states`` cap
+    position — while the enumeration cost is paid once per distinct
+    ``(positions, per-robot targets)`` pair instead of once per state per
+    candidate algorithm.
+    """
+
+    __slots__ = ("robots", "supports", "traversed", "pos_codes", "new_positions", "collision", "_arrays")
+
+    def __init__(self) -> None:
+        self.robots: List[int] = []
+        self.supports: List[int] = []
+        self.traversed: List[int] = []
+        self.pos_codes: List[int] = []
+        self.new_positions: List[Tuple[int, ...]] = []
+        self.collision = False
+        self._arrays = None
+
+    def arrays(self, np_mod):
+        """The ``(supports, traversed, pos_codes)`` int64 arrays (memoised)."""
+        if self._arrays is None:
+            self._arrays = (
+                np_mod.asarray(self.supports, dtype=np_mod.int64),
+                np_mod.asarray(self.traversed, dtype=np_mod.int64),
+                np_mod.asarray(self.pos_codes, dtype=np_mod.int64),
+            )
+        return self._arrays
 
 #: A robot observation class: the (sorted) pair of its two directed views.
 ObservationClass = Tuple[Tuple[int, ...], Tuple[int, ...]]
@@ -126,11 +193,15 @@ class SearchGameSolver:
         self.k = k
         self.ring = Ring(n)
         self.max_states = max_states
-        self._dynamics = RingSearchDynamics(n)
+        self._dynamics = ring_search_dynamics(n)
         self._position_bits = max(1, (n - 1).bit_length())
         #: Observation data per occupied-set mask, shared across *all*
         #: candidate algorithms (views do not depend on the candidate).
         self._node_info: Dict[int, Dict[int, _NodeInfo]] = {}
+        #: Combo tables keyed by ``(positions, per-robot targets)`` —
+        #: shared across all candidate algorithms and starting
+        #: configurations of this instance (see :class:`_ComboTable`).
+        self._combo_tables: Dict[Tuple[Tuple[int, ...], Tuple[Tuple[Optional[int], ...], ...]], _ComboTable] = {}
         self._classes = self._collect_observation_classes()
         if len(self._classes) > max_classes:
             raise UnsupportedParametersError(
@@ -240,6 +311,70 @@ class SearchGameSolver:
         cache[support_mask] = targets
         return targets
 
+    def _combo_table(
+        self,
+        positions: Tuple[int, ...],
+        targets_by_node: Dict[int, Tuple[Optional[int], ...]],
+    ) -> _ComboTable:
+        """The (cached) clear-independent combo expansion for one state.
+
+        The enumeration below is the former per-state inner loop of
+        :meth:`_adversary_wins`, verbatim: subsets by size then
+        lexicographic order, direction choices in ``itertools.product``
+        order.  Only the clear-mask-dependent steps (``advance`` and the
+        final packing) are deferred to replay time.
+        """
+        sig = tuple(targets_by_node[p] for p in positions)
+        key = (positions, sig)
+        table = self._combo_tables.get(key)
+        if table is not None:
+            return table
+        table = _ComboTable()
+        n = self.n
+        position_bits = self._position_bits
+        k = len(positions)
+        for subset_size in range(1, k + 1):
+            for subset in itertools.combinations(range(k), subset_size):
+                per_robot_choices = [sig[robot] for robot in subset]
+                robots_mask = 0
+                for robot in subset:
+                    robots_mask |= 1 << robot
+                for choice in itertools.product(*per_robot_choices):
+                    new_positions = list(positions)
+                    traversed = 0
+                    for robot, target in zip(subset, choice):
+                        if target is not None:
+                            source = positions[robot]
+                            traversed |= 1 << (
+                                source if (source + 1) % n == target else target
+                            )
+                            new_positions[robot] = target
+                    new_support = 0
+                    collision = False
+                    for p in new_positions:
+                        bit = 1 << p
+                        if new_support & bit:
+                            collision = True
+                            break
+                        new_support |= bit
+                    if collision:
+                        table.collision = True
+                        break
+                    pos_code = 0
+                    for p in new_positions:
+                        pos_code = (pos_code << position_bits) | p
+                    table.robots.append(robots_mask)
+                    table.supports.append(new_support)
+                    table.traversed.append(traversed)
+                    table.pos_codes.append(pos_code)
+                    table.new_positions.append(tuple(new_positions))
+                if table.collision:
+                    break
+            if table.collision:
+                break
+        self._combo_tables[key] = table
+        return table
+
     def _adversary_wins(
         self, initial: Configuration, assignment: Dict[ObservationClass, Option]
     ) -> bool:
@@ -255,12 +390,19 @@ class SearchGameSolver:
         positions digits with the clear-edge bitmask above them — with
         the clear/recontaminate dynamics served by the shared
         interval-mask :class:`~repro.tasks.searching.RingSearchDynamics`
-        memo.  Traversal order, the collision early-exit and the
-        ``max_states`` cap behave exactly as the tuple-state
-        implementation did.
+        memo.  Each state expands by *replaying* its cached
+        :class:`_ComboTable` (clear-independent, shared across all
+        candidate algorithms); when NumPy is available and the table is
+        large enough the clear advances of the whole table are computed
+        as one array call
+        (:func:`~repro.modelcheck.vector.advance_clear_many`, exact
+        batch form of ``RingSearchDynamics.advance``).  Traversal order,
+        the collision early-exit and the ``max_states`` cap behave
+        exactly as the tuple-state implementation did.
         """
         cache: Dict[int, Dict[int, Tuple[Optional[int], ...]]] = {}
         dynamics = self._dynamics
+        advance = dynamics.advance
         n = self.n
         position_bits = self._position_bits
         positions = tuple(sorted(initial.support))
@@ -270,69 +412,56 @@ class SearchGameSolver:
             support_mask |= 1 << p
         clear = dynamics.initial_clear(support_mask)
         clear_shift = k * position_bits
+        vector = _vector_funcs()
 
-        def pack(pos: Tuple[int, ...], clear_mask: int) -> int:
-            packed = clear_mask
-            for p in pos:
-                packed = (packed << position_bits) | p
-            return packed
-
-        start = pack(positions, clear)
+        start_code = 0
+        for p in positions:
+            start_code = (start_code << position_bits) | p
+        start = (clear << clear_shift) | start_code
         states: Set[int] = {start}
         edges: Dict[int, List[Tuple[int, int]]] = {}
         frontier: List[Tuple[int, Tuple[int, ...], int]] = [(start, positions, clear)]
         while frontier:
             packed, positions, clear = frontier.pop()
             targets_by_node = self._decision_targets(positions, assignment, cache)
+            table = self._combo_table(positions, targets_by_node)
             outgoing: List[Tuple[int, int]] = []
             seen_edges: Set[Tuple[int, int]] = set()
-            for subset_size in range(1, k + 1):
-                for subset in itertools.combinations(range(k), subset_size):
-                    per_robot_choices = [
-                        targets_by_node[positions[robot]] for robot in subset
-                    ]
-                    robots_mask = 0
-                    for robot in subset:
-                        robots_mask |= 1 << robot
-                    for choice in itertools.product(*per_robot_choices):
-                        new_positions = list(positions)
-                        traversed = 0
-                        for robot, target in zip(subset, choice):
-                            if target is not None:
-                                source = positions[robot]
-                                traversed |= 1 << (
-                                    source if (source + 1) % n == target else target
-                                )
-                                new_positions[robot] = target
-                        new_support = 0
-                        collision = False
-                        for p in new_positions:
-                            bit = 1 << p
-                            if new_support & bit:
-                                collision = True
-                                break
-                            new_support |= bit
-                        if collision:
-                            return True
-                        new_clear = dynamics.advance(new_support, clear | traversed)
-                        next_packed = pack(tuple(new_positions), new_clear)
-                        edge = (next_packed, robots_mask)
-                        if edge not in seen_edges:
-                            # Distinct move sets can reach the same packed
-                            # state with the same activated robots; the
-                            # fair-trap test only sees the (target,
-                            # robots) pair, so duplicates are dropped.
-                            seen_edges.add(edge)
-                            outgoing.append(edge)
-                        if next_packed not in states:
-                            states.add(next_packed)
-                            if len(states) > self.max_states:
-                                raise SimulationLimitError(
-                                    f"game state space exceeded {self.max_states} states"
-                                )
-                            frontier.append(
-                                (next_packed, tuple(new_positions), new_clear)
-                            )
+            if vector is not None and len(table.robots) >= _BATCH_MIN:
+                np_mod, advance_clear_many = vector
+                supports_arr, traversed_arr, pos_arr = table.arrays(np_mod)
+                new_clears = advance_clear_many(n, supports_arr, traversed_arr | clear)
+                clear_list = new_clears.tolist()
+                packed_list = ((new_clears << clear_shift) | pos_arr).tolist()
+            else:
+                clear_list = [
+                    advance(new_support, clear | traversed)
+                    for new_support, traversed in zip(table.supports, table.traversed)
+                ]
+                packed_list = [
+                    (new_clear << clear_shift) | pos_code
+                    for new_clear, pos_code in zip(clear_list, table.pos_codes)
+                ]
+            for robots_mask, new_pos, new_clear, next_packed in zip(
+                table.robots, table.new_positions, clear_list, packed_list
+            ):
+                edge = (next_packed, robots_mask)
+                if edge not in seen_edges:
+                    # Distinct move sets can reach the same packed
+                    # state with the same activated robots; the
+                    # fair-trap test only sees the (target,
+                    # robots) pair, so duplicates are dropped.
+                    seen_edges.add(edge)
+                    outgoing.append(edge)
+                if next_packed not in states:
+                    states.add(next_packed)
+                    if len(states) > self.max_states:
+                        raise SimulationLimitError(
+                            f"game state space exceeded {self.max_states} states"
+                        )
+                    frontier.append((next_packed, new_pos, new_clear))
+            if table.collision:
+                return True
             edges[packed] = outgoing
         all_robots = (1 << k) - 1
         for i in range(n):

@@ -163,6 +163,14 @@ def build_parser() -> argparse.ArgumentParser:
             "(byte-identical verdicts; mutually exclusive with --jobs > 1)"
         ),
     )
+    verify.add_argument(
+        "--engine", choices=["auto", "packed", "legacy", "vector"], default="auto",
+        help=(
+            "frontier engine (byte-identical verdicts; 'auto' picks the "
+            "NumPy-vectorized engine when NumPy is importable, else the "
+            "packed one; env override: REPRO_MODELCHECK_ENGINE)"
+        ),
+    )
     _add_campaign_arguments(verify)
     _add_cache_arguments(verify)
 
@@ -186,6 +194,10 @@ def build_parser() -> argparse.ArgumentParser:
             "frontier shards per model-checking cell "
             "(default: 1; mutually exclusive with --jobs > 1)"
         ),
+    )
+    serve.add_argument(
+        "--engine", choices=["auto", "packed", "legacy", "vector"], default="auto",
+        help="frontier engine for verify runs (byte-identical verdicts; default: auto)",
     )
     serve.add_argument(
         "--timeout",
@@ -507,6 +519,7 @@ def _run_verify(parser, args, out, cache=None) -> int:
         spec,
         jobs=args.jobs,
         shards=args.shards,
+        engine=args.engine,
         store=args.store,
         progress=_progress_printer if args.progress else None,
         cache=cache,
@@ -590,6 +603,7 @@ def _dispatch(parser: argparse.ArgumentParser, args, out) -> int:
             workers=args.workers,
             jobs=args.jobs,
             shards=args.shards,
+            engine=args.engine,
             run_timeout=args.timeout,
             verbose=args.verbose,
             log_json=args.json_logs,

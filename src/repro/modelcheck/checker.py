@@ -40,11 +40,15 @@ asynchronous CORDA adversary.
 (:mod:`repro.modelcheck.frontier`): states are single integers, dihedral
 canonicalisation is a table-driven min-scan, the searching dynamics are
 interval bitmasks, and the frontier can optionally be sharded across a
-process pool (``shards > 1``) with byte-identical output.  The original
+process pool (``shards > 1``) with byte-identical output.  When NumPy is
+importable the default resolves to the array-batched vector backend
+(:mod:`repro.modelcheck.vector`), which processes whole BFS waves as
+int64 arrays; see :mod:`repro.modelcheck.engines` for the resolution
+rules (``REPRO_MODELCHECK_ENGINE``, automatic fallback).  The original
 tuple-state explorer is retained behind ``engine="legacy"`` purely as a
-differential-testing oracle; both engines produce byte-identical verdict
-documents and witness traces (asserted over the whole E8 quick suite by
-the equivalence test suite).
+differential-testing oracle; all engines produce byte-identical verdict
+documents and witness traces (asserted over the whole E8 quick suite,
+both adversaries, by the three-way equivalence test suite).
 """
 
 from __future__ import annotations
@@ -64,6 +68,7 @@ from ..core.errors import (
 from ..core.ring import Edge, Ring
 from ..simulator.branching import BranchingDriver, BranchTransition
 from ..tasks.searching import advance_clear_edges
+from .engines import resolve_engine
 from .frontier import FrontierExplorer
 from .results import (
     DEFAULT_MAX_STATES,
@@ -105,9 +110,15 @@ class ModelChecker:
         adversary: ``"ssync"`` (default) or ``"sequential"``.
         max_states: exploration cap; exceeding it yields ``UNKNOWN``.
         spec: pre-built task adapter (overrides ``task`` lookup).
-        engine: ``"packed"`` (default) or ``"legacy"`` — the latter is
-            the original tuple-state explorer, kept as a differential
-            oracle; both produce byte-identical results.
+        engine: ``"auto"`` (default), ``"packed"``, ``"vector"`` or
+            ``"legacy"``, resolved by
+            :func:`repro.modelcheck.engines.resolve_engine` — ``auto``
+            prefers the NumPy-vectorized backend when NumPy is
+            importable, ``vector`` degrades to ``packed`` when it is
+            not, and ``legacy`` is the original tuple-state explorer
+            kept as a differential oracle.  The engine is execution
+            context: every engine produces byte-identical results, and
+            the choice never enters specs, run ids or cache keys.
         shards: packed-engine frontier partitions expanded in parallel
             (``1`` = serial).  Ignored by the legacy engine and by
             custom ``spec`` adapters, whose shard workers could not be
@@ -123,13 +134,11 @@ class ModelChecker:
         adversary: str = "ssync",
         max_states: int = DEFAULT_MAX_STATES,
         spec: Optional[TaskSpec] = None,
-        engine: str = "packed",
+        engine: str = "auto",
         shards: int = 1,
     ) -> None:
         if adversary not in ("ssync", "sequential"):
             raise ValueError(f"unknown adversary {adversary!r}; expected 'ssync' or 'sequential'")
-        if engine not in ("packed", "legacy"):
-            raise ValueError(f"unknown engine {engine!r}; expected 'packed' or 'legacy'")
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
         custom_spec = spec is not None
@@ -138,12 +147,12 @@ class ModelChecker:
         self.k = k
         self.adversary = adversary
         self.max_states = max_states
-        self.engine = engine
-        # Sharded workers rebuild the task adapter by name; a custom or
-        # unregistered adapter therefore explores serially.
-        self.shards = (
-            shards if not custom_spec and self.spec.task in TASKS else 1
-        )
+        self.engine = resolve_engine(engine)
+        # The persistent cell cache and the sharded workers both rebuild
+        # the task adapter by name; a custom or unregistered adapter
+        # therefore explores serially with instance-local caches.
+        self._registered_spec = not custom_spec and self.spec.task in TASKS
+        self.shards = shards if self._registered_spec else 1
         self.ring = Ring(n)
         self.driver = BranchingDriver(
             self.spec.algorithm, n, multiplicity_detection=self.spec.multiplicity_detection
@@ -167,8 +176,18 @@ class ModelChecker:
             result.notes.append(self.spec.note)
         started = perf_counter()
         try:
-            if self.engine == "packed":
-                FrontierExplorer(
+            if self.engine == "legacy":
+                self._run_legacy(result)
+            else:
+                explorer_cls = FrontierExplorer
+                if self.engine == "vector":
+                    from .vector import VectorFrontierExplorer
+
+                    # Cells whose packed states exceed the int64 batch
+                    # width fall back to the (identical) packed engine.
+                    if VectorFrontierExplorer.supports_cell(self.spec, self.n, self.k):
+                        explorer_cls = VectorFrontierExplorer
+                explorer_cls(
                     self.spec,
                     self.n,
                     self.k,
@@ -176,9 +195,8 @@ class ModelChecker:
                     self.max_states,
                     self.driver,
                     shards=self.shards,
+                    persistent=self._registered_spec,
                 ).run(result)
-            else:
-                self._run_legacy(result)
         finally:
             result.elapsed_s = perf_counter() - started
         return result
@@ -529,7 +547,7 @@ def check_cell(
     *,
     adversary: str = "ssync",
     max_states: int = DEFAULT_MAX_STATES,
-    engine: str = "packed",
+    engine: str = "auto",
     shards: int = 1,
 ) -> ModelCheckResult:
     """Convenience wrapper: build a checker and run one cell."""

@@ -63,11 +63,11 @@ from ..simulator.branching import (
     CompactTransition,
     NodeActivation,
 )
-from ..tasks.searching import RingSearchDynamics
+from ..tasks.searching import ring_search_dynamics
 from .results import Verdict, Witness, WitnessStep, ModelCheckResult
 from .tasks import TaskSpec, make_task_spec
 
-__all__ = ["FrontierExplorer", "shard_pool"]
+__all__ = ["CellCache", "FrontierExplorer", "cell_cache", "shard_pool"]
 
 Counts = Tuple[int, ...]
 
@@ -86,6 +86,85 @@ _ALGORITHM_ERRORS = (
 #: Name -> class map used to re-raise worker-side algorithm errors in
 #: the driving process with their original type and message.
 _ERRORS_BY_NAME = {cls.__name__: cls for cls in _ALGORITHM_ERRORS}
+
+
+# --------------------------------------------------------------------- #
+# persistent per-cell caches (ROADMAP: cross-step class->plan cache)
+# --------------------------------------------------------------------- #
+class CellCache:
+    """Process-wide memo block for one ``(task, n, k, adversary)`` cell.
+
+    Every entry is a pure function of the cell — packed codes, canonical
+    forms, and above all the compact successor *plans* produced by
+    :meth:`~repro.simulator.branching.BranchingDriver.successors_compact`
+    — so the block is safely shared across explorer instances, engines
+    (packed and vector) and repeated ``check_cell`` calls.  This is the
+    persistent class→plan cache of ROADMAP item 2: the first exploration
+    of a cell pays for plan computation once and every later run (warm
+    service process, benchmark repeat, witness replay) starts with the
+    full expansion table.
+
+    ``arrays`` holds the vector engine's per-code NumPy record columns
+    (built lazily from ``expansions``; unused by the packed engine).
+    """
+
+    __slots__ = ("counts_of", "pack", "canon", "expansions", "arrays", "initials")
+
+    def __init__(self) -> None:
+        self.counts_of: Dict[int, Counts] = {}
+        self.pack: Dict[Counts, Tuple[int, int]] = {}
+        self.canon: Dict[int, int] = {}
+        self.expansions: Dict[int, Tuple[str, object, object]] = {}
+        self.arrays: Dict[int, object] = {}
+        self.initials: Optional[Tuple[Tuple[int, ...], str]] = None
+
+
+_CELL_CACHES: Dict[Tuple[str, int, int, str], CellCache] = {}
+_CELL_CACHE_LIMIT = 16
+_CELL_CACHES_LOCK = threading.Lock()
+
+#: (n, k) -> (initial occupancy vectors, provenance note), shared by the
+#: packed and vector engines; purely combinatorial, independent of task.
+_INITIAL_CONFIGS: Dict[Tuple[int, int], Tuple[Tuple[Counts, ...], str]] = {}
+
+
+def cell_cache(task: str, n: int, k: int, adversary: str) -> CellCache:
+    """The shared :class:`CellCache` of a registered cell (LRU-evicted)."""
+    key = (task, n, k, adversary)
+    with _CELL_CACHES_LOCK:
+        cache = _CELL_CACHES.get(key)
+        if cache is None:
+            while len(_CELL_CACHES) >= _CELL_CACHE_LIMIT:
+                _CELL_CACHES.pop(next(iter(_CELL_CACHES)))
+            cache = CellCache()
+            _CELL_CACHES[key] = cache
+        else:
+            # Re-insert to keep eviction order least-recently-used.
+            _CELL_CACHES.pop(key)
+            _CELL_CACHES[key] = cache
+    return cache
+
+
+def _initial_configurations(n: int, k: int) -> Tuple[Tuple[Counts, ...], str]:
+    """Initial occupancy vectors of a cell plus the provenance note."""
+    key = (n, k)
+    entry = _INITIAL_CONFIGS.get(key)
+    if entry is None:
+        rigid = [c.counts for c in iter_configurations(n, k, rigid_only=True)]
+        if rigid:
+            configurations = rigid
+            note = f"{len(rigid)} rigid initial configuration class(es)"
+        else:
+            configurations = [c.counts for c in iter_configurations(n, k)]
+            note = (
+                "no rigid configuration exists for this cell; starting from all "
+                f"{len(configurations)} configuration class(es)"
+            )
+        entry = (tuple(configurations), note)
+        if len(_INITIAL_CONFIGS) > 64:
+            _INITIAL_CONFIGS.pop(next(iter(_INITIAL_CONFIGS)))
+        _INITIAL_CONFIGS[key] = entry
+    return entry
 
 
 # --------------------------------------------------------------------- #
@@ -181,6 +260,11 @@ class FrontierExplorer:
         shards: frontier partitions expanded in parallel; ``1`` is the
             serial path.  Requires ``spec.task`` to be a registered task
             (shard workers rebuild the adapter by name).
+        persistent: bind the packing/canonicalisation/expansion memos to
+            the process-wide :func:`cell_cache` of the cell instead of
+            instance-local dicts, so successor plans amortise across
+            explorations (registered tasks only — a custom adapter's
+            plans must not leak into the shared block).
     """
 
     def __init__(
@@ -192,6 +276,7 @@ class FrontierExplorer:
         max_states: int,
         driver: BranchingDriver,
         shards: int = 1,
+        persistent: bool = False,
     ) -> None:
         self.spec = spec
         self.n = n
@@ -203,15 +288,17 @@ class FrontierExplorer:
         self.codec = packed_codec(n, k)
         self.counts_bits = self.codec.total_bits
         self.counts_mask = self.codec.full_mask
-        self.dynamics = RingSearchDynamics(n) if spec.kind == "search" else None
+        self.dynamics = ring_search_dynamics(n) if spec.kind == "search" else None
+        shared = cell_cache(spec.task, n, k, adversary) if persistent else CellCache()
+        self._cell = shared
         #: packed counts code -> counts tuple of every discovered vector.
-        self._counts_of: Dict[int, Counts] = {}
+        self._counts_of: Dict[int, Counts] = shared.counts_of
         #: counts tuple -> (packed code, support mask).
-        self._pack_memo: Dict[Counts, Tuple[int, int]] = {}
+        self._pack_memo: Dict[Counts, Tuple[int, int]] = shared.pack
         #: packed concrete code -> packed canonical code (canonical tasks).
-        self._canon_memo: Dict[int, int] = {}
+        self._canon_memo: Dict[int, int] = shared.canon
         #: packed counts code -> ("ok", records, None) | ("error", name, msg).
-        self._expansions: Dict[int, Tuple[str, object, object]] = {}
+        self._expansions: Dict[int, Tuple[str, object, object]] = shared.expansions
 
     # ------------------------------------------------------------------ #
     # packing helpers
@@ -411,17 +498,13 @@ class FrontierExplorer:
 
     def _initial_states(self) -> Tuple[List[int], str]:
         """Packed starting states (with duplicates) plus a provenance note."""
-        rigid = list(iter_configurations(self.n, self.k, rigid_only=True))
-        if rigid:
-            configurations = rigid
-            note = f"{len(rigid)} rigid initial configuration class(es)"
-        else:
-            configurations = list(iter_configurations(self.n, self.k))
-            note = (
-                "no rigid configuration exists for this cell; starting from all "
-                f"{len(configurations)} configuration class(es)"
-            )
-        return [self._make_initial_state(c.counts) for c in configurations], note
+        cached = self._cell.initials
+        if cached is None:
+            configurations, note = _initial_configurations(self.n, self.k)
+            states = tuple(self._make_initial_state(counts) for counts in configurations)
+            cached = (states, note)
+            self._cell.initials = cached
+        return list(cached[0]), cached[1]
 
     def _is_goal(self, counts: Counts) -> bool:
         return self.spec.goal is not None and self.spec.goal(

@@ -156,6 +156,7 @@ def _execute_simulate(
     progress: Optional[ProgressCallback],
     cache: Optional[ResultCache],
     backend: Optional[str],
+    engine: Optional[str],
     timeout: Optional[float],
     retry,
     fault_plan,
@@ -221,6 +222,7 @@ def _execute_batchsweep(
     progress: Optional[ProgressCallback],
     cache: Optional[ResultCache],
     backend: Optional[str],
+    engine: Optional[str],
     timeout: Optional[float],
     retry,
     fault_plan,
@@ -244,6 +246,7 @@ def _execute_verify(
     progress: Optional[ProgressCallback],
     cache: Optional[ResultCache],
     backend: Optional[str],
+    engine: Optional[str],
     timeout: Optional[float],
     retry,
     fault_plan,
@@ -256,6 +259,7 @@ def _execute_verify(
         max_states=spec.max_states,
         jobs=jobs,
         shards=shards,
+        engine=engine,
         store=store,
         progress=progress,
         cache=cache,
@@ -318,6 +322,7 @@ def _execute_experiment(
     progress: Optional[ProgressCallback],
     cache: Optional[ResultCache],
     backend: Optional[str],
+    engine: Optional[str],
     timeout: Optional[float],
     retry,
     fault_plan,
@@ -397,6 +402,7 @@ def execute(
     cache: Optional[Union[str, ResultCache]] = None,
     refresh: bool = False,
     backend: Optional[str] = None,
+    engine: Optional[str] = None,
     timeout: Optional[float] = None,
     retry=None,
     fault_plan=None,
@@ -426,6 +432,12 @@ def execute(
             :mod:`repro.batchsim.backends`).  Execution context like
             ``jobs``: every backend produces byte-identical payloads, so
             it never enters the spec or the cache key.
+        engine: model-check frontier engine for ``verify`` runs
+            (``"packed"``, ``"legacy"``, ``"vector"`` or
+            ``None``/``"auto"``; see :mod:`repro.modelcheck.engines`).
+            Execution context exactly like ``backend``: every engine
+            produces byte-identical verdict documents, so it never
+            enters the spec, the run id or any cache key.
         timeout: per-unit deadline in seconds for campaign-backed kinds
             (an overrunning worker is *killed*, recorded as
             ``"timeout"``, and retried once in isolation), and a
@@ -477,6 +489,7 @@ def execute(
         progress=progress,
         cache=unit_cache,
         backend=backend,
+        engine=engine,
         timeout=timeout,
         retry=retry,
         fault_plan=fault_plan,

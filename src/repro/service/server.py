@@ -110,6 +110,9 @@ class RunService:
         shards: frontier shards per model-checking cell (within-cell
             parallelism; byte-identical results, so not part of any run
             id).
+        engine: model-check frontier engine for verify runs (see
+            :mod:`repro.modelcheck.engines`; byte-identical results, so
+            not part of any run id either).
         max_runs: bound on the in-memory run registry; when exceeded,
             the oldest *settled* (done/error/cancelled) entries are
             dropped.  With a cache attached, dropped ``done`` runs
@@ -143,6 +146,7 @@ class RunService:
         workers: int = 2,
         jobs: int = 1,
         shards: int = 1,
+        engine: Optional[str] = None,
         max_runs: int = 1024,
         run_timeout: Optional[float] = None,
         retry=None,
@@ -169,6 +173,7 @@ class RunService:
             self._cache = as_result_cache(cache)
         self._jobs = jobs
         self._shards = shards
+        self._engine = engine
         self._max_runs = max_runs
         self._run_timeout = run_timeout
         self._retry = retry
@@ -583,6 +588,7 @@ class RunService:
                 spec,
                 jobs=self._jobs,
                 shards=self._shards,
+                engine=self._engine,
                 cache=self._cache,
                 timeout=self._run_timeout,
                 retry=self._retry,
@@ -902,6 +908,7 @@ def create_server(
     workers: int = 2,
     jobs: int = 1,
     shards: int = 1,
+    engine: Optional[str] = None,
     run_timeout: Optional[float] = None,
     verbose: bool = False,
     log_json: bool = False,
@@ -914,7 +921,7 @@ def create_server(
     if service is None:
         service = RunService(
             cache=cache, workers=workers, jobs=jobs, shards=shards,
-            run_timeout=run_timeout,
+            engine=engine, run_timeout=run_timeout,
         )
     handler = type(
         "BoundRunRequestHandler",
@@ -934,6 +941,7 @@ def serve(
     workers: int = 2,
     jobs: int = 1,
     shards: int = 1,
+    engine: Optional[str] = None,
     run_timeout: Optional[float] = None,
     drain_grace_s: float = 30.0,
     verbose: bool = False,
@@ -950,7 +958,7 @@ def serve(
     """
     service = RunService(
         cache=cache, workers=workers, jobs=jobs, shards=shards,
-        run_timeout=run_timeout,
+        engine=engine, run_timeout=run_timeout,
     )
     server = create_server(
         host, port, service=service, verbose=verbose, log_json=log_json
@@ -975,6 +983,7 @@ def serve(
     journal = service._queue.journal_path
     print(f"repro serve: listening on http://{bound_host}:{bound_port} "
           f"(workers={workers}, jobs={jobs}, shards={shards}, "
+          f"engine={engine or 'auto'}, "
           f"timeout={run_timeout if run_timeout is not None else 'none'}, "
           f"cache={service.health()['cache'] or 'disabled'}, "
           f"queue={'persistent:' + journal if journal else 'memory'})")

@@ -32,6 +32,7 @@ __all__ = [
     "SearchingMonitor",
     "advance_clear_edges",
     "guarded_edges",
+    "ring_search_dynamics",
     "RingSearchDynamics",
 ]
 
@@ -183,6 +184,25 @@ class RingSearchDynamics:
         return frozenset(
             (i, (i + 1) % n) for i in range(n) if (mask >> i) & 1
         )
+
+
+_DYNAMICS_INSTANCES: Dict[int, RingSearchDynamics] = {}
+
+
+def ring_search_dynamics(n: int) -> RingSearchDynamics:
+    """The process-wide shared :class:`RingSearchDynamics` for ``n``.
+
+    The dynamics are pure functions of the ring size, so sharing one
+    instance lets the interval-decomposition and advance memos warm once
+    per process instead of once per explorer/solver instance.
+    """
+    dynamics = _DYNAMICS_INSTANCES.get(n)
+    if dynamics is None:
+        if len(_DYNAMICS_INSTANCES) > 64:
+            _DYNAMICS_INSTANCES.pop(next(iter(_DYNAMICS_INSTANCES)))
+        dynamics = RingSearchDynamics(n)
+        _DYNAMICS_INSTANCES[n] = dynamics
+    return dynamics
 
 
 class SearchState:

@@ -40,6 +40,43 @@ class TestGameSolverSetup:
         assert first <= second
 
 
+class TestGameBatchedExpansion:
+    """The batched combo replay must be invisible in every observable."""
+
+    CELLS = ((4, 1), (5, 2), (6, 2), (5, 3), (6, 3))
+
+    def _sweep(self):
+        return [searching_game_verdict(n, k) for n, k in self.CELLS]
+
+    def test_batched_and_serial_paths_identical(self, monkeypatch):
+        import repro.analysis.game as game
+
+        monkeypatch.setattr(game, "_BATCH_MIN", 10**9)
+        serial = self._sweep()
+        monkeypatch.setattr(game, "_BATCH_MIN", 1)
+        batched = self._sweep()
+        for left, right in zip(serial, batched):
+            assert left == right
+
+    def test_cap_error_identical_on_both_paths(self, monkeypatch):
+        import repro.analysis.game as game
+        from repro.core.errors import SimulationLimitError
+
+        messages = []
+        for batch_min in (10**9, 1):
+            monkeypatch.setattr(game, "_BATCH_MIN", batch_min)
+            with pytest.raises(SimulationLimitError) as excinfo:
+                searching_game_verdict(6, 3, max_states=10)
+            messages.append(str(excinfo.value))
+        assert messages[0] == messages[1]
+
+    def test_combo_tables_shared_across_candidates(self):
+        solver = SearchGameSolver(6, 2)
+        solver.solve()
+        # Far fewer distinct tables than (states x candidates) expansions.
+        assert 0 < len(solver._combo_tables) <= 200
+
+
 class TestGameSolverVerdicts:
     """Computational counterparts of Theorems 2, 3 and the small cases of Theorem 5."""
 

@@ -1,13 +1,18 @@
-"""Equivalence suite: packed frontier engine == legacy oracle == sharded.
+"""Equivalence suite: packed == legacy == vector engines == sharded.
 
-The packed-state rewrite is only a performance change; these tests pin
+The frontier engines are pure performance variants; these tests pin
 that claim down byte-for-byte:
 
 * for every cell of the E8 quick suite (every applicable task), the
   packed engine and the legacy tuple-state explorer produce
   byte-identical verdict JSON and witness traces;
+* for every cell of the E8 quick suite under *both* adversaries, the
+  NumPy-vectorized engine produces byte-identical verdict JSON (the
+  three-way gate: vector == packed, packed == legacy), including the
+  state-cap and algorithm-error paths;
 * a sharded exploration (``shards=4``) produces byte-identical results
-  and byte-identical verification-campaign summaries.
+  and byte-identical verification-campaign summaries, on the packed
+  and the vector engine alike.
 """
 
 import io
@@ -101,6 +106,46 @@ class TestPackedEqualsLegacy:
     def test_unknown_engine_rejected(self):
         with pytest.raises(ValueError):
             ModelChecker("gathering", 6, 3, engine="quantum")
+
+
+class TestVectorEqualsPacked:
+    """The vectorized engine half of the three-way gate.
+
+    Combined with ``TestPackedEqualsLegacy`` (packed == legacy) this
+    certifies vector == packed == legacy over the whole E8 quick suite.
+    Without NumPy the vector engine degrades to packed and these tests
+    compare packed against itself — still true, just vacuous (the
+    masked-NumPy CI job covers that path deliberately).
+    """
+
+    @pytest.mark.parametrize("adversary", ["ssync", "sequential"])
+    @pytest.mark.parametrize("task,k,n", E8_QUICK_CHECKS)
+    def test_verdict_json_byte_identical_both_adversaries(self, task, k, n, adversary):
+        vector = check_cell(
+            task, n, k, max_states=MAX_STATES, adversary=adversary, engine="vector"
+        )
+        packed = check_cell(
+            task, n, k, max_states=MAX_STATES, adversary=adversary, engine="packed"
+        )
+        assert _canonical_json(vector) == _canonical_json(packed)
+
+    def test_state_cap_byte_identical(self):
+        vector = check_cell("searching", 11, 5, max_states=5, engine="vector")
+        packed = check_cell("searching", 11, 5, max_states=5, engine="packed")
+        assert vector.verdict is Verdict.UNKNOWN
+        assert _canonical_json(vector) == _canonical_json(packed)
+
+    def test_error_verdict_byte_identical(self):
+        vector = check_cell("gathering", 6, 4, engine="vector")
+        packed = check_cell("gathering", 6, 4, engine="packed")
+        assert vector.verdict is Verdict.ERROR
+        assert _canonical_json(vector) == _canonical_json(packed)
+
+    def test_sharded_vector_byte_identical(self):
+        for task, k, n in [("searching", 6, 13), ("searching", 3, 6)]:
+            serial = check_cell(task, n, k, shards=1, engine="packed")
+            sharded_vector = check_cell(task, n, k, shards=4, engine="vector")
+            assert _canonical_json(serial) == _canonical_json(sharded_vector)
 
 
 class TestShardedEqualsSerial:

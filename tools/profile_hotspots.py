@@ -3,10 +3,19 @@
 The profiling harness behind the packed-state frontier work: point it at
 a cell, read the hottest frames, decide what to attack next.
 
+``--frontier`` profiles the *warm* frontier loop: one unprofiled run
+first populates the persistent per-cell caches (expansion plans,
+canonicalization memos, dynamics tables — see
+``repro.modelcheck.frontier.cell_cache``), then ``--repeat`` further
+runs are profiled.  That isolates the per-run engine mechanics — the
+part the packed/vector engines actually differ in — from the one-time
+cell planning cost that dominates a cold profile.
+
 Examples::
 
     PYTHONPATH=src python tools/profile_hotspots.py searching --k 6 --n 13
     PYTHONPATH=src python tools/profile_hotspots.py searching --k 7 --n 14 --engine legacy
+    PYTHONPATH=src python tools/profile_hotspots.py searching --k 6 --n 13 --engine vector --frontier
     PYTHONPATH=src python tools/profile_hotspots.py --game --k 3 --n 6 --top 15
 """
 
@@ -41,7 +50,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--adversary", choices=["ssync", "sequential"], default="ssync"
     )
     parser.add_argument(
-        "--engine", choices=["packed", "legacy"], default="packed",
+        "--engine", choices=["auto", "packed", "legacy", "vector"], default="packed",
         help="exploration engine to profile (default: packed)",
     )
     parser.add_argument(
@@ -50,6 +59,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--game", action="store_true",
         help="profile the E6 adversary game solver on (k, n) instead",
+    )
+    parser.add_argument(
+        "--frontier", action="store_true",
+        help=(
+            "profile the warm frontier loop: run the cell once unprofiled "
+            "to populate the persistent per-cell caches, then profile "
+            "--repeat further runs (not applicable with --game)"
+        ),
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=5, metavar="R",
+        help="profiled repetitions in --frontier mode (default: 5)",
     )
     parser.add_argument(
         "--top", type=int, default=25, metavar="N",
@@ -67,12 +88,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    if args.game and args.frontier:
+        build_parser().error("--frontier profiles the model checker, not --game")
     if args.game:
         def workload():
             return searching_game_verdict(args.n, args.k)
         label = f"game solver k={args.k} n={args.n}"
     else:
-        def workload():
+        def check_once():
             return check_cell(
                 args.task,
                 args.n,
@@ -81,10 +104,23 @@ def main(argv=None) -> int:
                 max_states=args.max_states,
                 engine=args.engine,
             )
-        label = (
-            f"{args.task} k={args.k} n={args.n} "
-            f"({args.engine} engine, {args.adversary})"
-        )
+        if args.frontier:
+            check_once()  # unprofiled warm-up populates the cell caches
+            def workload():
+                for _ in range(args.repeat - 1):
+                    check_once()
+                return check_once()
+            label = (
+                f"{args.task} k={args.k} n={args.n} "
+                f"({args.engine} engine, {args.adversary}, "
+                f"warm frontier x{args.repeat})"
+            )
+        else:
+            workload = check_once
+            label = (
+                f"{args.task} k={args.k} n={args.n} "
+                f"({args.engine} engine, {args.adversary})"
+            )
 
     profiler = cProfile.Profile()
     started = perf_counter()
